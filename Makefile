@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-paper figures examples clean
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-paper:
+	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) examples/export_figures.py figures/
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis figures
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the paper-shaped rows/series (run with ``-s`` to see them), while
+pytest-benchmark records the runtime.  The scenario scale follows
+``REPRO_SCALE`` (``fast`` default; ``paper`` for the paper's absolute
+parameters — expect minutes per figure at paper scale).
+"""
+
+import pytest
+
+from repro.experiments import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and return its
+    result (simulation benches are deterministic and far too heavy for
+    multi-round statistical timing)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,29 @@
+"""Ablation: the two §3.3 burstiness sources, measured separately.
+
+The paper attributes sub-RTT loss burstiness to (a) the DropTail
+discipline under long-lived flows and (b) slow-start overshoot of short
+flows — "even harder to be eliminated".  The bench runs each workload in
+isolation and checks both produce the clustering.
+"""
+
+from benchmarks.conftest import one_shot
+from repro.experiments.shortflows import run_shortflows
+
+
+def test_ablation_shortflow_slowstart_bursts(benchmark, scale):
+    result = one_shot(benchmark, run_shortflows, seed=1, scale=scale)
+    print()
+    print(result.to_text())
+
+    # Long-lived flows: the Figure 2 clustering.
+    assert result.longlived.frac_within_001 > 0.7
+    assert result.longlived.is_burstier_than_poisson()
+    # Pure short-flow churn — no long-lived flow exists — still clusters:
+    # slow-start overshoot alone drops "a large number of continuous
+    # packets" per event.
+    assert result.churn.frac_within_001 > 0.5
+    assert result.churn.mean_burst_size > 5.0
+    assert result.churn.is_burstier_than_poisson()
+    # The churn actually churned.
+    assert result.churn_flows_started > 50
+    assert result.churn_flows_completed > 0.5 * result.churn_flows_started

@@ -1,0 +1,26 @@
+"""Benchmark: Equations (1)/(2) — loss-event detection by protocol class.
+
+Paper claim: a bursty loss event of M drops is seen by L_rate = min(M, N)
+rate-based flows but only L_win = max(M/K, 1) window-based flows, so
+L_rate >> L_win.  Validated on the mixed competition's drop trace.
+"""
+
+from benchmarks.conftest import one_shot
+from repro.experiments import analytic_table, run_eq12
+
+
+def test_eq12_detection_model(benchmark, scale):
+    result = one_shot(benchmark, run_eq12, seed=1, scale=scale)
+    print()
+    print(analytic_table())
+    print()
+    print(result.to_text())
+
+    assert result.n_events > 10
+    # The paper's inequality, measured: rate-based flows detect each event
+    # far more often than window-based flows.
+    assert result.measured_rate_hits > result.measured_window_hits
+    assert result.measured_ratio > 1.3
+    # The ideal-case model agrees on the direction; for very large events
+    # both classes saturate at N flows, so the model ratio floors at 1.
+    assert result.model_ratio >= 0.99

@@ -1,0 +1,25 @@
+"""Extension bench: delay-based congestion control (paper §5, ref. [23]).
+
+"A delay-based algorithm ... achieved better stability and fairness": the
+same heterogeneous-RTT flow population run under loss-based NewReno and
+delay-based FAST, head to head.
+"""
+
+from benchmarks.conftest import one_shot
+from repro.extensions import run_delay_based
+
+
+def test_ext_delay_based_stability_fairness(benchmark, scale):
+    result = one_shot(benchmark, run_delay_based, seed=1, scale=scale)
+    print()
+    print(result.to_text())
+
+    # Delay sidesteps the bursty loss signal entirely...
+    assert result.delay_based.drops == 0
+    assert result.loss_based.drops > 0
+    # ...while being fairer across RTTs and flatter over time...
+    assert result.delay_based.jain > result.loss_based.jain
+    assert result.delay_based.jain > 0.9
+    assert result.delay_based.mean_window_cv < 0.1
+    # ...at no utilization cost.
+    assert result.delay_based.utilization >= result.loss_based.utilization - 0.1

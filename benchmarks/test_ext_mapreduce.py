@@ -1,0 +1,22 @@
+"""Extension bench: MapReduce shuffle over a complete graph (future work).
+
+The paper's §5 lesson for controlled clusters — rate-based senders give
+fairer, more predictable transfers — applied to the M x R shuffle its
+future work proposes.
+"""
+
+from benchmarks.conftest import one_shot
+from repro.experiments.mapreduce_shuffle import run_mapreduce
+
+
+def test_ext_mapreduce_shuffle(benchmark, scale):
+    result = one_shot(benchmark, run_mapreduce, seed=1, scale=scale)
+    print()
+    print(result.to_text())
+
+    # Every shuffle finished above its bound.
+    assert result.window.latencies.min() >= 1.0
+    assert result.rate.latencies.min() >= 1.0
+    # §5 fairness claim: the rate-based shuffle's straggler spread
+    # (slowest minus fastest reducer) is smaller than the window-based one's.
+    assert result.rate.mean_spread < result.window.mean_spread

@@ -1,0 +1,33 @@
+"""Extension bench: measurement methodology comparison (paper §2 + future work).
+
+Quantifies the paper's critique of TCP-trace-based loss measurement:
+one bottleneck, three instruments — the router's ground-truth drop trace,
+a Paxson-style reconstruction from TCP retransmissions, and the paper's
+CBR-probe methodology.
+"""
+
+from benchmarks.conftest import one_shot
+from repro.experiments.methodology import run_methodology
+
+
+def test_ext_methodology_comparison(benchmark, scale):
+    result = one_shot(benchmark, run_methodology, seed=1, scale=scale)
+    print()
+    print(result.to_text())
+
+    assert result.n_router_drops > 100
+    assert result.n_tcp_estimates > 10
+    assert result.n_probe_losses > 10
+
+    # The paper's claim, measured: the TCP-trace view folds the flows' own
+    # dynamics into the estimate — its loss count is biased (recovery
+    # smearing + go-back-N resends inferred as losses) and its
+    # congestion-event structure is distorted...
+    truth_n = result.comparison.ground_truth.n_losses
+    tcp_n = result.comparison.tcp_trace.n_losses
+    assert abs(tcp_n - truth_n) / truth_n > 0.10
+    # ...while the evenly-sampling CBR probe preserves the congestion-event
+    # process (event counts near the truth, unlike the TCP view).
+    e_tcp, e_cbr = result.comparison.event_count_errors()
+    assert e_cbr < e_tcp
+    assert e_cbr < 0.25

@@ -1,0 +1,60 @@
+"""Extension bench: TFRC vs window-based TCP (paper §5 / Rhee & Xu).
+
+"If a distributed application has to use both UDP (controlled by the
+rate-based TFRC), and TCP (controlled by window-based implementation) in
+the data communication, TFRC will have unexpectedly low throughput."  The
+bench runs equal numbers of TFRC and NewReno flows over one bottleneck
+and confirms which class wins.
+"""
+
+from benchmarks.conftest import one_shot
+from repro.sim import DumbbellConfig, Simulator, build_dumbbell
+from repro.sim.rng import RngStreams
+from repro.tcp import NewRenoSender, TcpSink, TfrcReceiver, TfrcSender
+
+
+def _competition(seed, n_per_class, rate_bps, rtt, duration):
+    streams = RngStreams(seed)
+    sim = Simulator()
+    cfg = DumbbellConfig(bottleneck_rate_bps=rate_bps)
+    cfg.buffer_pkts = max(4, cfg.bdp_packets(rtt))
+    db = build_dumbbell(sim, cfg)
+    starts = streams.stream("starts")
+    tfrc_rcvs, tcp_sinks = [], []
+    for i in range(n_per_class):
+        pair = db.add_pair(rtt=rtt)
+        fid = 100 + i
+        snd = TfrcSender(sim, pair.left, fid, pair.right.node_id, base_rtt=rtt)
+        tfrc_rcvs.append(TfrcReceiver(sim, pair.right, fid, pair.left.node_id))
+        snd.start(float(starts.uniform(0.0, 0.1)))
+    for i in range(n_per_class):
+        pair = db.add_pair(rtt=rtt)
+        fid = 200 + i
+        snd = NewRenoSender(sim, pair.left, fid, pair.right.node_id)
+        tcp_sinks.append(TcpSink(sim, pair.right, fid, pair.left.node_id))
+        snd.start(float(starts.uniform(0.0, 0.1)))
+    sim.run(until=duration)
+    tfrc_bytes = sum(r.stats.bytes_received for r in tfrc_rcvs)
+    tcp_bytes = sum(s.stats.bytes_received for s in tcp_sinks)
+    return tfrc_bytes, tcp_bytes
+
+
+def test_ext_tfrc_vs_tcp(benchmark, scale):
+    tfrc_bytes, tcp_bytes = one_shot(
+        benchmark, _competition,
+        seed=1, n_per_class=scale.fig7_flows_per_class,
+        rate_bps=scale.fig7_capacity_bps, rtt=0.050,
+        duration=scale.fig7_duration,
+    )
+    tfrc_mbps = tfrc_bytes * 8 / scale.fig7_duration / 1e6
+    tcp_mbps = tcp_bytes * 8 / scale.fig7_duration / 1e6
+    print(
+        f"\n  TFRC aggregate {tfrc_mbps:.2f} Mbps vs "
+        f"NewReno aggregate {tcp_mbps:.2f} Mbps "
+        f"(TFRC gets {tfrc_mbps / (tfrc_mbps + tcp_mbps) * 100:.0f}% of the shared link)"
+    )
+    # The paper's warning: the rate-based class loses.
+    assert tcp_bytes > tfrc_bytes
+    # But TFRC is not starved to zero, and the link is used.
+    assert tfrc_bytes > 0.02 * tcp_bytes
+    assert (tfrc_mbps + tcp_mbps) > 0.5 * scale.fig7_capacity_bps / 1e6

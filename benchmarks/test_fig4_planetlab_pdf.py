@@ -1,0 +1,40 @@
+"""Benchmark: Figure 4 — inter-loss-time PDF over the Internet substitute.
+
+Paper claims: ~40% of losses within 0.01 RTT, ~60% within 1 RTT; the loss
+process is clearly burstier than Poisson in the 0–0.25 RTT range despite
+Internet heterogeneity.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import one_shot
+from repro.experiments import run_fig4
+
+
+def test_fig4_planetlab_pdf(benchmark, scale):
+    result = one_shot(benchmark, run_fig4, seed=2006, scale=scale)
+    print()
+    print(result.to_text())
+    print(
+        f"\n  paper:    ~40% < 0.01 RTT, ~60% < 1 RTT"
+        f"\n  measured: {result.frac_001 * 100:.1f}% < 0.01 RTT, "
+        f"{result.frac_1 * 100:.1f}% < 1 RTT"
+    )
+    assert 0.25 <= result.frac_001 <= 0.55
+    assert 0.45 <= result.frac_1 <= 0.80
+    assert result.comparison.rejects_poisson
+
+
+def test_fig4_burstier_than_poisson_within_quarter_rtt(benchmark, scale):
+    """Paper: 'much more bursty than the Poisson process in sub-RTT
+    timescale (within 0 to 0.25 RTT)'."""
+    result = one_shot(benchmark, run_fig4, seed=2007, scale=scale)
+    pdf = result.pdf
+    sel = pdf.centers <= 0.25
+    measured_mass = float(np.sum(pdf.mass[sel]))
+    poisson_mass = float(np.sum(result.poisson[sel]) * pdf.bin_width)
+    print(
+        f"\n  mass within 0.25 RTT: measured {measured_mass * 100:.1f}% "
+        f"vs poisson {poisson_mass * 100:.1f}%"
+    )
+    assert measured_mass > 2.0 * poisson_mass

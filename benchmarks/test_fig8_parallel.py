@@ -1,0 +1,48 @@
+"""Benchmark: Figure 8 — parallel-transfer latency vs flow count and RTT.
+
+Paper claims: normalized latency (completion / theoretic bound) sits well
+above 1, grows with RTT, and is wildly variable in the RTT=200 ms cells
+(at 4 flows the standard deviation is literally off the chart), because
+only the unlucky flows that lose slow-start packets fall behind and the
+slowest flow defines completion.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import one_shot
+from repro.experiments import run_fig8
+
+
+def test_fig8_parallel_latency_grid(benchmark, scale):
+    from repro.experiments import default_workers
+
+    # The grid is embarrassingly parallel and seed-deterministic: fan the
+    # repetitions out over a small process pool (identical numbers either way).
+    result = one_shot(
+        benchmark, run_fig8, seed=1, scale=scale,
+        workers=min(4, default_workers()),
+    )
+    print()
+    print(result.to_text())
+
+    # Every cell's latency is above the bound.
+    for (n, rtt), st in result.cells.items():
+        assert st.mean >= 1.0, f"cell ({n}, {rtt}) below the bound"
+
+    # Latency grows with RTT (compare the extreme RTT rows cell-by-cell).
+    rtts = sorted({rtt for (_, rtt) in result.cells})
+    lo_rtt, hi_rtt = rtts[0], rtts[-1]
+    _, lo_means = result.series_for_rtt(lo_rtt)
+    _, hi_means = result.series_for_rtt(hi_rtt)
+    assert np.mean(hi_means) > np.mean(lo_means)
+
+    # The long-RTT row shows the paper's unpredictability: substantially
+    # higher run-to-run variation than the short-RTT row.
+    hi_stds = [st.std for (n, rtt), st in result.cells.items() if rtt == hi_rtt]
+    lo_stds = [st.std for (n, rtt), st in result.cells.items() if rtt == lo_rtt]
+    assert max(hi_stds) > max(lo_stds)
+    print(
+        f"\n  paper:    latency 2-10x bound at 200ms, huge variance at few flows"
+        f"\n  measured: mean normalized latency at {hi_rtt * 1e3:.0f}ms = "
+        f"{np.mean(hi_means):.2f}x, max cell std = {max(hi_stds):.2f}"
+    )

@@ -1,0 +1,113 @@
+"""Performance microbenchmarks of the hot paths.
+
+Unlike the figure benches (single-shot scenario regenerations), these are
+true multi-round pytest-benchmark measurements of the substrate's inner
+loops: event throughput, queue operations, and the NumPy analysis kernels.
+They catch performance regressions that would make paper-scale runs
+impractical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    burstiness_summary,
+    cluster_loss_events,
+    fit_gilbert,
+    interval_pdf,
+    loss_intervals,
+)
+from repro.sim import DumbbellConfig, Simulator, build_dumbbell
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.tcp import NewRenoSender, TcpSink
+
+
+def test_perf_engine_event_throughput(benchmark):
+    """Raw scheduler throughput: schedule + dispatch 100k no-op events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(100_000):
+            sim.schedule(float(i) * 1e-6, _noop)
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run)
+    assert processed == 100_000
+
+
+def _noop():
+    pass
+
+
+def test_perf_queue_ops(benchmark):
+    """DropTail push/pop cycles."""
+    pkt = Packet(1, 0, 1000)
+
+    def run():
+        q = DropTailQueue(64)
+        for _ in range(1_000):
+            for k in range(8):
+                q.push(pkt, 0.0)
+            for k in range(8):
+                q.pop(0.0)
+        return q.dequeued
+
+    assert benchmark(run) == 8_000
+
+
+def test_perf_tcp_transfer(benchmark):
+    """Packets-through-the-stack rate: a full 2000-packet TCP transfer."""
+
+    def run():
+        sim = Simulator()
+        db = build_dumbbell(
+            sim, DumbbellConfig(bottleneck_rate_bps=50e6, buffer_pkts=300)
+        )
+        pair = db.add_pair(rtt=0.02)
+        snd = NewRenoSender(sim, pair.left, 1, pair.right.node_id,
+                            total_packets=2000)
+        TcpSink(sim, pair.right, 1, pair.left.node_id)
+        snd.start()
+        sim.run(until=60.0)
+        return snd.finished
+
+    assert benchmark(run)
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    rng = np.random.default_rng(0)
+    # 1M loss timestamps with heavy clustering.
+    centers = np.sort(rng.uniform(0, 10_000, 20_000))
+    pts = centers[:, None] + rng.exponential(0.001, (20_000, 50))
+    return np.sort(pts.ravel())
+
+
+def test_perf_interval_extraction(benchmark, big_trace):
+    out = benchmark(loss_intervals, big_trace)
+    assert len(out) == len(big_trace) - 1
+
+
+def test_perf_pdf_binning(benchmark, big_trace):
+    intervals = loss_intervals(big_trace) / 0.1
+    pdf = benchmark(interval_pdf, intervals)
+    assert pdf.n == len(intervals)
+
+
+def test_perf_burstiness_summary(benchmark, big_trace):
+    s = benchmark(burstiness_summary, big_trace, 0.1)
+    assert s.n_losses == len(big_trace)
+
+
+def test_perf_event_clustering(benchmark, big_trace):
+    events = benchmark(cluster_loss_events, big_trace, 0.1)
+    assert len(events) >= 1
+
+
+def test_perf_gilbert_fit(benchmark):
+    rng = np.random.default_rng(1)
+    seq = (rng.random(1_000_000) < 0.02).astype(np.int8)
+    model = benchmark(fit_gilbert, seq)
+    assert 0 <= model.loss_rate <= 1

@@ -1,0 +1,20 @@
+"""Benchmark: Table 1 — the 26-site PlanetLab mesh.
+
+Regenerates the site inventory and the synthetic mesh statistics (650
+directed paths, RTTs spanning 2 ms to >300 ms as the paper reports).
+"""
+
+from benchmarks.conftest import one_shot
+from repro.experiments import run_table1
+
+
+def test_table1_sites(benchmark):
+    result = one_shot(benchmark, run_table1)
+    print()
+    print(result.to_text())
+
+    assert result.n_sites == 26
+    assert result.n_paths == 650
+    # Paper: RTTs "from 2ms to more than 200ms"; highest "more than 300ms".
+    assert result.rtt_min < 0.020
+    assert result.rtt_max > 0.300

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""MapReduce shuffle over a complete traffic graph.
+
+The paper's future work: "We plan to simulate more complicate scenarios
+such as a complete graph topology in MapReduce."  This example builds an
+M x R shuffle on a star network — every mapper sends a partition to every
+reducer, so each reducer's downlink takes an M-to-1 incast — and compares
+window-based (NewReno) against rate-based (paced) senders, testing the
+paper's §5 advice for controlled clusters.
+
+Run:  python examples/mapreduce_shuffle.py
+"""
+
+import numpy as np
+
+from repro.apps import MapReduceShuffle, ShuffleConfig
+from repro.core.report import format_table
+from repro.experiments import run_mapreduce
+from repro.sim import RngStreams, Simulator
+
+
+def anatomy_of_one_shuffle() -> None:
+    """Run a single shuffle and show the per-reducer completion skew."""
+    sim = Simulator()
+    cfg = ShuffleConfig(
+        n_mappers=4, n_reducers=4, bytes_per_partition=256 * 1024,
+        downlink_rate_bps=20e6, buffer_pkts=32,
+    )
+    shuffle = MapReduceShuffle(sim, cfg, streams=RngStreams(7))
+    result = shuffle.run(horizon=120.0)
+
+    rows = []
+    for r in range(cfg.n_reducers):
+        rows.append([f"reducer {r}", f"{result.reducer_completion(r):.3f}s"])
+    print(format_table(
+        ["", "last partition at"], rows,
+        title=(
+            f"one {cfg.n_mappers}x{cfg.n_reducers} shuffle "
+            f"(bound {cfg.reducer_bound_seconds:.2f}s per reducer)"
+        ),
+    ))
+    print(f"makespan {result.makespan:.3f}s "
+          f"({result.normalized_latency:.2f}x bound); "
+          f"straggler spread {result.straggler_spread:.3f}s; "
+          f"{result.drops} incast drops\n")
+
+
+def main() -> None:
+    anatomy_of_one_shuffle()
+
+    print("=== window-based vs rate-based shuffle (5 seeds each) ===\n")
+    result = run_mapreduce(seed=1)
+    print(result.to_text())
+    print("""
+why: each reducer's downlink drops packets in sub-RTT bursts during the
+incast.  With window-based senders the burst hits whichever mappers'
+clumps were in flight — those flows halve, the others don't, and the
+reducers finish far apart.  Paced senders spread every flow's packets
+evenly, so every flow samples every congestion event: uniform slowdown,
+tight reducer completions.  That is the paper's §5 recommendation for
+tightly controlled environments, on its proposed MapReduce workload.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Queue disciplines and loss burstiness: DropTail vs RED variants.
+
+The paper (§3.3) blames the DropTail discipline for sub-RTT loss bursts —
+once the FIFO fills, every arrival drops until senders back off half an
+RTT later — and points to RED as the randomizing fix, "However, these
+proposals suffer from difficult parameter settings problems" (§5).
+
+This example runs the same TCP-plus-noise workload over a DropTail
+bottleneck and four RED configurations, and prints the burstiness and
+utilization of each: classic RED de-bursts the loss process; timid RED
+degenerates into DropTail; heavy RED starves the link.
+
+Run:  python examples/red_vs_droptail.py
+"""
+
+from repro.experiments import FAST
+from repro.extensions import run_red_sweep, sweep_table
+
+
+def main() -> None:
+    outcomes = run_red_sweep(seed=1, scale=FAST)
+    print(sweep_table(outcomes))
+
+    by_label = {o.label: o for o in outcomes}
+    dt, classic = by_label["droptail"], by_label["classic"]
+    print(f"""
+reading the table:
+  * droptail: {dt.frac_001 * 100:.0f}% of losses within 0.01 RTT — the
+    paper's burstiness, reproduced
+  * classic RED (min=15%, max=45% of buffer, max_p=0.1): clustering cut
+    to {classic.frac_001 * 100:.0f}% at {classic.utilization * 100:.0f}% utilization
+  * timid RED (thresholds at the buffer top): never early-drops —
+    statistically indistinguishable from droptail
+  * heavy RED (max_p=1 at tiny thresholds): de-bursts, but look at the
+    utilization column — the paper's "difficult parameter settings
+    problems" in one row""")
+
+
+if __name__ == "__main__":
+    main()

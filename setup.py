@@ -1,0 +1,10 @@
+"""Legacy installer shim.
+
+Offline environments without a ``wheel`` package cannot run pip's
+PEP 517 build path; ``python setup.py develop`` installs the package
+editable from pyproject.toml metadata alone.
+"""
+
+from setuptools import setup
+
+setup()

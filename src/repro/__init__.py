@@ -1,0 +1,41 @@
+"""repro — reproduction of *Packet Loss Burstiness: Measurements and
+Implications for Distributed Applications* (Wei, Cao, Low; IPDPS 2007).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's analytical contribution: inter-loss-interval analysis,
+    burstiness metrics, Poisson references, the Gilbert–Elliott model, and
+    the Eq. (1)/(2) loss-detection model.
+``repro.sim``
+    Discrete-event network simulator (NS-2 equivalent): engine, links,
+    DropTail/RED queues, dumbbell topology, traces.
+``repro.tcp``
+    Transport protocols: TCP Reno / NewReno (window-based), TCP Pacing and
+    TFRC (rate-based), CBR probes, exponential on-off noise.
+``repro.emulation``
+    Dummynet-equivalent emulation: 1 ms clock quantization and
+    service-time noise.
+``repro.internet``
+    PlanetLab-equivalent Internet measurement substrate: 26-site registry,
+    synthetic path RTT/loss models, CBR probing campaigns.
+``repro.apps``
+    Distributed-application models (parallel chunked transfers).
+``repro.experiments``
+    One driver per paper figure/table; see DESIGN.md for the index.
+``repro.extensions``
+    Paper §5 / future-work features (persistent ECN signal, RED tuning).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "core",
+    "emulation",
+    "experiments",
+    "extensions",
+    "internet",
+    "sim",
+    "tcp",
+]

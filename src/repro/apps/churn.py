@@ -1,0 +1,126 @@
+"""Short-flow churn: slow start as a loss-burst generator (paper §3.3).
+
+"Slow start of short flows is another source of packet loss burstiness,
+which is even harder to be eliminated.  A TCP flow starts with a very
+small rate ... and doubles its data rate if no loss is observed.  This
+process can quickly fill up the bottleneck buffer in a few round trips
+and produce a large number of continuous packet losses in the router."
+
+This workload models exactly that: flows arrive as a Poisson process,
+each transfers a modest payload (mostly spent in slow start) and leaves.
+The bottleneck's drop trace then shows burst clusters stamped by
+slow-start overshoot even when no long-lived flow exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.topology import Dumbbell
+from repro.tcp.base import TcpSender
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.sink import TcpSink
+
+__all__ = ["ChurnConfig", "FlowChurn"]
+
+
+@dataclass
+class ChurnConfig:
+    """Short-flow arrival process."""
+
+    arrival_rate: float = 10.0  # flows per second (Poisson)
+    mean_flow_packets: float = 60.0  # lognormal mean size
+    sigma_flow_packets: float = 1.0  # lognormal sigma (log-space)
+    min_flow_packets: int = 4
+    rtt_range: tuple[float, float] = (0.002, 0.200)
+    sender_cls: Type[TcpSender] = NewRenoSender
+    flow_id_base: int = 50_000
+
+    def __post_init__(self):
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.mean_flow_packets < self.min_flow_packets:
+            raise ValueError("mean flow size below the minimum")
+
+
+class FlowChurn:
+    """Drives Poisson short-flow arrivals onto a dumbbell.
+
+    Host pairs are pre-created (round-robin reuse across arrivals keeps
+    the topology bounded); each arrival starts a fresh transfer with a
+    slow-start phase that dominates its life.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dumbbell: Dumbbell,
+        streams: RngStreams,
+        config: Optional[ChurnConfig] = None,
+        n_host_pairs: int = 32,
+    ):
+        if n_host_pairs <= 0:
+            raise ValueError("need at least one host pair")
+        self.sim = sim
+        self.db = dumbbell
+        self.config = config or ChurnConfig()
+        self.streams = streams
+        rtt_rng = streams.stream("churn-rtts")
+        lo, hi = self.config.rtt_range
+        self.pairs = [
+            dumbbell.add_pair(rtt=float(rtt_rng.uniform(lo, hi)), name=f"churn{i}")
+            for i in range(n_host_pairs)
+        ]
+        self._arrival_rng = streams.stream("churn-arrivals")
+        self._size_rng = streams.stream("churn-sizes")
+        self._next_fid = self.config.flow_id_base
+        self.flows_started = 0
+        self.flows_completed = 0
+        self._stopped = False
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin operating at absolute simulation time ``at``."""
+        self.sim.schedule_at(at + self._next_gap(), self._arrive)
+
+    def stop(self) -> None:
+        """Stop operating and cancel any pending timers."""
+        self._stopped = True
+
+    def _next_gap(self) -> float:
+        return float(self._arrival_rng.exponential(1.0 / self.config.arrival_rate))
+
+    def _draw_size(self) -> int:
+        cfg = self.config
+        # Lognormal with the requested linear-space mean.
+        mu = np.log(cfg.mean_flow_packets) - cfg.sigma_flow_packets**2 / 2.0
+        size = int(self._size_rng.lognormal(mu, cfg.sigma_flow_packets))
+        return max(cfg.min_flow_packets, size)
+
+    def _arrive(self) -> None:
+        if self._stopped:
+            return
+        cfg = self.config
+        pair = self.pairs[self.flows_started % len(self.pairs)]
+        fid = self._next_fid
+        self._next_fid += 1
+        size = self._draw_size()
+
+        def finished(_t, _pair=pair, _fid=fid):
+            """Callback bookkeeping for one completed flow."""
+            self.flows_completed += 1
+            _pair.left.detach(_fid)
+            _pair.right.detach(_fid)
+
+        snd = cfg.sender_cls(
+            self.sim, pair.left, fid, pair.right.node_id,
+            total_packets=size, on_complete=finished,
+        )
+        TcpSink(self.sim, pair.right, fid, pair.left.node_id)
+        snd.start(self.sim.now)
+        self.flows_started += 1
+        self.sim.schedule(self._next_gap(), self._arrive)

@@ -1,0 +1,71 @@
+"""Transfer-latency bounds and normalization (paper §4.2, Figure 8).
+
+The paper normalizes parallel-transfer completion times by the theoretic
+lower bound — the time a fully-utilized bottleneck needs to carry the
+payload ("In the 100Mbps network, the theoretic lower bound of completion
+time of a 64MB transfer is 5.39 seconds").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["lower_bound", "LatencyStats", "summarize_latencies"]
+
+
+def lower_bound(total_bytes: int, capacity_bps: float, rtt: float = 0.0) -> float:
+    """Theoretic lower bound on completion time.
+
+    ``total_bytes * 8 / capacity`` plus one propagation RTT for the last
+    packet's delivery and initial handshake-free start (the paper's 5.39 s
+    for 64 MB at 100 Mbps corresponds to the bandwidth term of 5.37 s plus
+    a small constant; pass ``rtt=0`` to get the pure bandwidth bound).
+    """
+    if total_bytes <= 0:
+        raise ValueError(f"total_bytes must be positive, got {total_bytes}")
+    if capacity_bps <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity_bps}")
+    if rtt < 0:
+        raise ValueError(f"rtt must be non-negative, got {rtt}")
+    return total_bytes * 8.0 / capacity_bps + rtt
+
+
+@dataclass
+class LatencyStats:
+    """Normalized-latency statistics over repetitions of one configuration."""
+
+    n_flows: int
+    rtt: float
+    mean: float  # mean normalized latency (completion / lower bound)
+    std: float
+    min: float
+    max: float
+    samples: np.ndarray
+
+    @property
+    def unpredictable(self) -> bool:
+        """High run-to-run variability (the paper's RTT=200ms, 4-flow cell
+        has a standard deviation too large to plot)."""
+        return self.std > 0.5 * self.mean
+
+
+def summarize_latencies(
+    n_flows: int, rtt: float, normalized: np.ndarray
+) -> LatencyStats:
+    """Build stats from repeated normalized-latency samples."""
+    x = np.asarray(normalized, dtype=np.float64)
+    if len(x) == 0:
+        raise ValueError("no latency samples")
+    if np.any(x < 1.0 - 1e-6):
+        raise ValueError("normalized latency below the lower bound: check wiring")
+    return LatencyStats(
+        n_flows=n_flows,
+        rtt=rtt,
+        mean=float(x.mean()),
+        std=float(x.std()),
+        min=float(x.min()),
+        max=float(x.max()),
+        samples=x,
+    )

@@ -1,0 +1,182 @@
+"""MapReduce shuffle over a complete traffic graph (paper future work).
+
+The paper closes with: "We plan to simulate more complicate scenarios such
+as a complete graph topology in MapReduce [7]."  This module builds that
+scenario: M mappers each send a partition to every one of R reducers over
+a star network, so each reducer's downlink carries an M-to-1 incast.  The
+shuffle finishes when the LAST partition lands — the same slowest-flow
+amplification as the paper's Figure 8, but with R concurrent bottlenecks.
+
+Because the downlinks drop in sub-RTT bursts, which mapper flows stall is
+lottery-like; the interesting output is the shuffle's *makespan spread*
+across seeds under window-based vs rate-based senders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.topology import Star, StarConfig, StarHost, build_star
+from repro.tcp.base import TcpSender
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.pacing import PacedSender
+from repro.tcp.sink import TcpSink
+
+__all__ = ["ShuffleConfig", "ShuffleResult", "MapReduceShuffle"]
+
+
+@dataclass
+class ShuffleConfig:
+    """Shuffle workload definition."""
+
+    n_mappers: int = 4
+    n_reducers: int = 4
+    bytes_per_partition: int = 1 * 2**20  # per mapper->reducer transfer
+    packet_size: int = 1000
+    sender_cls: Type[TcpSender] = NewRenoSender
+    host_delay: float = 0.0005  # one-way to the switch (1ms-RTT fabric... per hop pair)
+    downlink_rate_bps: float = 100e6
+    buffer_pkts: int = 64
+
+    def __post_init__(self):
+        if self.n_mappers <= 0 or self.n_reducers <= 0:
+            raise ValueError("need at least one mapper and one reducer")
+        if self.bytes_per_partition <= 0:
+            raise ValueError("bytes_per_partition must be positive")
+
+    @property
+    def packets_per_partition(self) -> int:
+        """Partition size in whole packets (rounded up)."""
+        return max(1, int(np.ceil(self.bytes_per_partition / self.packet_size)))
+
+    @property
+    def reducer_bound_seconds(self) -> float:
+        """Time a fully-utilized downlink needs for one reducer's input."""
+        total = self.n_mappers * self.bytes_per_partition
+        return total * 8.0 / self.downlink_rate_bps
+
+
+@dataclass
+class ShuffleResult:
+    """Outcome of one shuffle."""
+
+    config: ShuffleConfig
+    flow_completions: dict[tuple[int, int], float]  # (mapper, reducer) -> time
+    start_time: float
+    finished: bool
+    drops: int
+
+    @property
+    def makespan(self) -> float:
+        """Transfer duration of the slowest flow (inf if unfinished)."""
+        if not self.finished:
+            return float("inf")
+        return max(self.flow_completions.values()) - self.start_time
+
+    @property
+    def normalized_latency(self) -> float:
+        """Makespan over the per-reducer downlink bound (Figure 8's
+        normalization, applied to the shuffle)."""
+        return self.makespan / self.config.reducer_bound_seconds
+
+    def reducer_completion(self, reducer: int) -> float:
+        """When the given reducer received its last partition."""
+        times = [
+            t for (m, r), t in self.flow_completions.items() if r == reducer
+        ]
+        return max(times) - self.start_time if times else float("inf")
+
+    @property
+    def straggler_spread(self) -> float:
+        """Slowest minus fastest reducer completion — shuffle skew."""
+        if not self.finished:
+            return float("inf")
+        comps = [self.reducer_completion(r) for r in range(self.config.n_reducers)]
+        return max(comps) - min(comps)
+
+
+class MapReduceShuffle:
+    """Build the complete M x R shuffle on a star and run it."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[ShuffleConfig] = None,
+        streams: Optional[RngStreams] = None,
+    ):
+        self.sim = sim
+        self.config = config or ShuffleConfig()
+        self.streams = streams or RngStreams(0)
+        cfg = self.config
+        self.star: Star = build_star(
+            sim,
+            StarConfig(
+                access_rate_bps=max(1e9, cfg.downlink_rate_bps),
+                downlink_rate_bps=cfg.downlink_rate_bps,
+                buffer_pkts=cfg.buffer_pkts,
+                packet_size=cfg.packet_size,
+            ),
+        )
+        self.mappers: list[StarHost] = [
+            self.star.add_host(cfg.host_delay, name=f"map{i}")
+            for i in range(cfg.n_mappers)
+        ]
+        self.reducers: list[StarHost] = [
+            self.star.add_host(cfg.host_delay, name=f"red{j}")
+            for j in range(cfg.n_reducers)
+        ]
+        self.senders: dict[tuple[int, int], TcpSender] = {}
+        self._completions: dict[tuple[int, int], float] = {}
+        self._wire()
+
+    def _flow_id(self, mapper: int, reducer: int) -> int:
+        return 10_000 + mapper * 1_000 + reducer
+
+    def _wire(self) -> None:
+        cfg = self.config
+        for m, mh in enumerate(self.mappers):
+            for r, rh in enumerate(self.reducers):
+                fid = self._flow_id(m, r)
+                rtt = self.star.rtt(mh, rh)
+                kwargs = {}
+                if cfg.sender_cls is PacedSender:
+                    kwargs["base_rtt"] = rtt
+                key = (m, r)
+                snd = cfg.sender_cls(
+                    self.sim,
+                    mh.host,
+                    fid,
+                    rh.host.node_id,
+                    total_packets=cfg.packets_per_partition,
+                    packet_size=cfg.packet_size,
+                    on_complete=lambda t, _key=key: self._completions.__setitem__(_key, t),
+                    **kwargs,
+                )
+                TcpSink(self.sim, rh.host, fid, mh.host.node_id)
+                self.senders[key] = snd
+
+    def run(self, start: float = 0.0, horizon: float = 600.0) -> ShuffleResult:
+        """Start every partition transfer (with a little launch jitter) and
+        run until the shuffle completes or the horizon passes."""
+        jitter = self.streams.stream("launch-jitter")
+        for snd in self.senders.values():
+            snd.start(start + float(jitter.uniform(0.0, 0.005)))
+        n_flows = len(self.senders)
+        t = start
+        step = max(0.25, self.config.reducer_bound_seconds / 4.0)
+        while t < start + horizon and len(self._completions) < n_flows:
+            t += step
+            self.sim.run(until=t)
+        drops = sum(len(h.drop_trace) for h in self.reducers)
+        return ShuffleResult(
+            config=self.config,
+            flow_completions=dict(self._completions),
+            start_time=start,
+            finished=len(self._completions) == n_flows,
+            drops=drops,
+        )

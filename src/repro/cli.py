@@ -1,0 +1,183 @@
+"""Command-line interface: regenerate any paper figure/table.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig2 [--seed 1] [--scale fast|paper]
+    python -m repro all                  # everything, in paper order
+
+Each command runs the corresponding experiment driver and prints the
+paper-shaped output (the same text the benchmarks print).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig2(seed, scale):
+    from repro.experiments import run_fig2
+
+    return run_fig2(seed=seed, scale=scale).to_text()
+
+
+def _fig3(seed, scale):
+    from repro.experiments import run_fig3
+
+    return run_fig3(seed=seed, scale=scale).to_text()
+
+
+def _fig4(seed, scale):
+    from repro.experiments import run_fig4
+
+    return run_fig4(seed=seed if seed != 1 else 2006, scale=scale).to_text()
+
+
+def _fig7(seed, scale):
+    from repro.experiments import run_fig7
+
+    return run_fig7(seed=seed, scale=scale).to_text()
+
+
+def _fig8(seed, scale):
+    from repro.experiments import run_fig8
+
+    return run_fig8(seed=seed, scale=scale).to_text()
+
+
+def _table1(seed, scale):
+    from repro.experiments import run_table1
+
+    return run_table1().to_text()
+
+
+def _eq12(seed, scale):
+    from repro.experiments import analytic_table, run_eq12
+
+    return analytic_table() + "\n\n" + run_eq12(seed=seed, scale=scale).to_text()
+
+
+def _methodology(seed, scale):
+    from repro.experiments import run_methodology
+
+    return run_methodology(seed=seed, scale=scale).to_text()
+
+
+def _mapreduce(seed, scale):
+    from repro.experiments import run_mapreduce
+
+    return run_mapreduce(seed=seed, scale=scale).to_text()
+
+
+def _shortflows(seed, scale):
+    from repro.experiments import run_shortflows
+
+    return run_shortflows(seed=seed, scale=scale).to_text()
+
+
+def _red(seed, scale):
+    from repro.extensions import run_red_sweep, sweep_table
+
+    return sweep_table(run_red_sweep(seed=seed, scale=scale))
+
+
+def _ecn(seed, scale):
+    from repro.extensions import run_ecn_fairness
+
+    return run_ecn_fairness(seed=seed, scale=scale).to_text()
+
+
+def _delay(seed, scale):
+    from repro.extensions import run_delay_based
+
+    return run_delay_based(seed=seed, scale=scale).to_text()
+
+
+#: name -> (runner, description).  Order = presentation order for ``all``.
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "table1": (_table1, "Table 1 — PlanetLab measurement sites"),
+    "fig2": (_fig2, "Figure 2 — inter-loss PDF, NS-2-style simulation"),
+    "fig3": (_fig3, "Figure 3 — inter-loss PDF, Dummynet-style emulation"),
+    "fig4": (_fig4, "Figure 4 — inter-loss PDF, Internet campaign"),
+    "eq12": (_eq12, "Equations (1)/(2) — loss-event detection by class"),
+    "fig7": (_fig7, "Figure 7 — TCP Pacing vs NewReno competition"),
+    "fig8": (_fig8, "Figure 8 — parallel-transfer latency grid"),
+    "methodology": (_methodology, "Extension — measurement methodology comparison"),
+    "shortflows": (_shortflows, "Extension — slow-start churn burstiness (§3.3)"),
+    "red": (_red, "Extension — RED tuning sweep"),
+    "ecn": (_ecn, "Extension — persistent one-RTT ECN fairness"),
+    "delay": (_delay, "Extension — delay-based vs loss-based control"),
+    "mapreduce": (_mapreduce, "Extension — MapReduce shuffle predictability"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures/tables from the packet-loss-burstiness paper.",
+    )
+    p.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="which figure/table to regenerate ('list' to enumerate)",
+    )
+    p.add_argument("--seed", type=int, default=1, help="experiment seed (default 1)")
+    p.add_argument(
+        "--scale",
+        choices=["fast", "paper"],
+        default=None,
+        help="scenario scale (default: $REPRO_SCALE or fast)",
+    )
+    p.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="also append each result block to this file",
+    )
+    return p
+
+
+def _resolve_scale(name: Optional[str]):
+    if name is None:
+        return None
+    from repro.experiments import FAST, PAPER
+
+    return {"fast": FAST, "paper": PAPER}[name]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(k) for k in EXPERIMENTS)
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"  {name.ljust(width)}  {desc}")
+        return 0
+
+    scale = _resolve_scale(args.scale)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    sink = open(args.out, "a") if args.out else None
+    try:
+        for name in names:
+            runner, desc = EXPERIMENTS[name]
+            print(f"=== {desc} ===")
+            t0 = time.perf_counter()
+            text = runner(args.seed, scale)
+            print(text)
+            print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+            if sink is not None:
+                sink.write(f"=== {desc} ===\n{text}\n\n")
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Loss-detection model: the paper's Equations (1) and (2).
+
+When the bottleneck drops ``M`` packets in one bursty loss event out of
+``N`` flows' traffic:
+
+* **Rate-based flows** (evenly spaced packets): each dropped packet most
+  likely belongs to a distinct flow, so the expected number of flows
+  detecting the event is ``L_rate = min(M, N)``  (Eq. 1).
+* **Window-based flows** (each flow's ``K`` packets arrive as one
+  contiguous clump): the burst of ``M`` drops straddles about ``M / K``
+  clumps, so ``L_win = max(M / K, 1)``  (Eq. 2).
+
+``L_rate >> L_win`` — rate-based flows over-sample the loss signal, halve
+more often, and lose throughput (Figure 7).  This module also provides the
+empirical counterparts measured from simulation traces and a throughput-
+ratio prediction from the 1/sqrt(p) law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "l_rate_based",
+    "l_window_based",
+    "detection_ratio",
+    "empirical_flows_per_event",
+    "predicted_throughput_ratio",
+    "DetectionModel",
+]
+
+
+def l_rate_based(m: float, n: int) -> float:
+    """Eq. (1): expected rate-based flows detecting an M-drop event."""
+    if m < 0 or n < 0:
+        raise ValueError(f"m and n must be non-negative, got {m}, {n}")
+    return float(min(m, n))
+
+
+def l_window_based(m: float, k: float) -> float:
+    """Eq. (2): expected window-based flows detecting an M-drop event.
+
+    ``k`` is the number of packets a flow sends in the loss event's RTT
+    (its clump size).
+    """
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got {m}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if m == 0:
+        return 0.0
+    return float(max(m / k, 1.0))
+
+
+def detection_ratio(m: float, n: int, k: float) -> float:
+    """L_rate / L_win: how many times more flows see the event when
+    rate-based.  >> 1 in the bursty regime (m large, k large)."""
+    lw = l_window_based(m, k)
+    if lw == 0:
+        return float("nan")
+    return l_rate_based(m, n) / lw
+
+
+@dataclass
+class DetectionModel:
+    """Ideal-case detection statistics for a population of events.
+
+    ``event_sizes`` is the per-event drop count M (e.g. from
+    :func:`repro.core.events.event_sizes`); ``n`` the number of flows;
+    ``k`` the per-flow packets-per-RTT (cwnd in packets for window flows).
+    """
+
+    n: int
+    k: float
+
+    def expected_rate_detections(self, event_sizes: np.ndarray) -> float:
+        """Mean Eq. (1) detections over the event sizes."""
+        m = np.asarray(event_sizes, dtype=np.float64)
+        return float(np.minimum(m, self.n).mean()) if len(m) else float("nan")
+
+    def expected_window_detections(self, event_sizes: np.ndarray) -> float:
+        """Mean Eq. (2) detections over the event sizes."""
+        m = np.asarray(event_sizes, dtype=np.float64)
+        if len(m) == 0:
+            return float("nan")
+        return float(np.maximum(m / self.k, 1.0).mean())
+
+    def expected_ratio(self, event_sizes: np.ndarray) -> float:
+        """Eq. (1)/Eq. (2) expectation ratio over the events."""
+        lw = self.expected_window_detections(event_sizes)
+        lr = self.expected_rate_detections(event_sizes)
+        return lr / lw if lw and lw > 0 else float("nan")
+
+
+def empirical_flows_per_event(events) -> float:
+    """Mean number of distinct flows that actually lost a packet per event
+    (requires the trace's per-drop flow ids; see
+    :func:`repro.core.events.cluster_loss_events`)."""
+    if not events:
+        return float("nan")
+    return float(np.mean([e.n_flows_hit for e in events]))
+
+
+def predicted_throughput_ratio(loss_seen_ratio: float) -> float:
+    """Throughput ratio (window-based / rate-based) implied by the
+    1/sqrt(p) throughput law when the rate-based class perceives
+    ``loss_seen_ratio`` times the loss-event rate of the window-based
+    class: x_win / x_rate = sqrt(p_rate / p_win)."""
+    if loss_seen_ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {loss_seen_ratio}")
+    return float(np.sqrt(loss_seen_ratio))

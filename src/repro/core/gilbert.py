@@ -1,0 +1,157 @@
+"""Gilbert–Elliott two-state Markov loss model.
+
+The paper's future work calls for "more rigorous model[s]" of the loss
+trace; the Gilbert model is the standard one for bursty packet loss.  The
+chain alternates a GOOD state (losses with probability ``h_good``, usually
+0) and a BAD state (losses with probability ``h_bad``, usually near 1);
+``p`` is the GOOD→BAD transition probability per packet, ``r`` the
+BAD→GOOD probability.  Mean burst length is ``1/r``; stationary loss rate
+is ``pi_bad * h_bad + pi_good * h_good`` with ``pi_bad = p / (p + r)``.
+
+Fitting uses maximum likelihood on the observed loss/delivery transition
+counts of a binary per-packet loss sequence (the classic Gilbert fit with
+``h_bad = 1``, ``h_good = 0``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GilbertModel",
+    "fit_gilbert",
+    "loss_run_lengths",
+    "conditional_loss_probability",
+]
+
+
+def conditional_loss_probability(loss_seq: np.ndarray) -> tuple[float, float]:
+    """Borella-style burstiness statistic: ``(P(loss | previous lost),
+    P(loss))`` from a binary per-packet loss sequence.
+
+    For independent (Bernoulli) loss the two are equal; for bursty loss
+    the conditional probability is much larger — the single-number form
+    of the correlation the Gilbert model captures.  Returns NaN components
+    where undefined (no packets / no losses to condition on).
+    """
+    x = np.asarray(loss_seq).astype(bool)
+    if x.ndim != 1:
+        raise ValueError(f"sequence must be 1-D, got shape {x.shape}")
+    if len(x) == 0:
+        return float("nan"), float("nan")
+    p = float(np.mean(x))
+    if len(x) < 2 or not np.any(x[:-1]):
+        return float("nan"), p
+    cond = float(np.mean(x[1:][x[:-1]]))
+    return cond, p
+
+
+@dataclass
+class GilbertModel:
+    """Two-state loss model parameters."""
+
+    p: float  # GOOD -> BAD per packet
+    r: float  # BAD -> GOOD per packet
+    h_bad: float = 1.0  # loss probability in BAD
+    h_good: float = 0.0  # loss probability in GOOD
+
+    def __post_init__(self):
+        for name in ("p", "r", "h_bad", "h_good"):
+            v = getattr(self, name)
+            if not (0.0 <= v <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.p == 0.0 and self.r == 0.0:
+            raise ValueError("degenerate chain: p and r cannot both be 0")
+
+    # -- analytic properties ------------------------------------------------
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of packets sent in the BAD state."""
+        return self.p / (self.p + self.r)
+
+    @property
+    def loss_rate(self) -> float:
+        """Stationary per-packet loss probability."""
+        pi_b = self.stationary_bad
+        return pi_b * self.h_bad + (1.0 - pi_b) * self.h_good
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected BAD-state sojourn in packets (mean loss-burst length
+        when ``h_bad`` = 1)."""
+        if self.r == 0:
+            return float("inf")
+        return 1.0 / self.r
+
+    # -- synthesis -------------------------------------------------------------
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Generate a binary loss sequence of length ``n`` (1 = lost).
+
+        The chain starts in its stationary distribution.
+        """
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        # Vectorized simulation: draw all uniforms, then scan the state.
+        u_state = rng.random(n)
+        u_loss = rng.random(n)
+        losses = np.empty(n, dtype=np.int8)
+        bad = bool(rng.random() < self.stationary_bad)
+        p, r, hb, hg = self.p, self.r, self.h_bad, self.h_good
+        for i in range(n):
+            losses[i] = 1 if u_loss[i] < (hb if bad else hg) else 0
+            if bad:
+                if u_state[i] < r:
+                    bad = False
+            else:
+                if u_state[i] < p:
+                    bad = True
+        return losses
+
+
+def loss_run_lengths(loss_seq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Lengths of consecutive-loss runs and consecutive-delivery runs."""
+    x = np.asarray(loss_seq).astype(bool)
+    if x.ndim != 1:
+        raise ValueError(f"sequence must be 1-D, got shape {x.shape}")
+    if len(x) == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    # Run-length encode.
+    change = np.flatnonzero(np.diff(x.astype(np.int8))) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [len(x)]))
+    lengths = ends - starts
+    values = x[starts]
+    return lengths[values], lengths[~values]
+
+
+def fit_gilbert(loss_seq: np.ndarray) -> GilbertModel:
+    """Maximum-likelihood Gilbert fit (``h_bad=1, h_good=0``) from a binary
+    per-packet loss sequence.
+
+    ``p`` = P(next lost | delivered) and ``r`` = P(next delivered | lost),
+    estimated from transition counts.
+    """
+    x = np.asarray(loss_seq).astype(bool)
+    if len(x) < 2:
+        raise ValueError(f"need at least 2 packets, got {len(x)}")
+    prev, nxt = x[:-1], x[1:]
+    n_good = int(np.sum(~prev))
+    n_bad = int(np.sum(prev))
+    g2b = int(np.sum(~prev & nxt))
+    b2g = int(np.sum(prev & ~nxt))
+    if n_good == 0:
+        p = 1.0  # never observed GOOD: treat as always transitioning
+    else:
+        p = g2b / n_good
+    if n_bad == 0:
+        r = 1.0  # no losses at all: BAD unreachable; r is arbitrary
+    else:
+        r = b2g / n_bad
+    # Degenerate all-delivered / all-lost traces still produce a valid model.
+    p = min(max(p, 0.0), 1.0)
+    r = min(max(r, 0.0), 1.0)
+    if p == 0.0 and r == 0.0:
+        r = 1.0
+    return GilbertModel(p=p, r=r)

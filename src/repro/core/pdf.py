@@ -1,0 +1,112 @@
+"""Loss-interval PDFs (the paper's Figures 2–4).
+
+The paper plots the probability density function of RTT-normalized loss
+intervals with a bin size of 0.02 RTT over [0, 2] RTT, log-scale Y, next to
+the PDF of a Poisson process with the same mean arrival rate (whose
+interval PDF is exponential — a straight line on the log axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["IntervalPdf", "interval_pdf", "poisson_reference_pdf"]
+
+#: Paper resolution: 0.02 RTT bins over [0, 2] RTT.
+DEFAULT_BIN = 0.02
+DEFAULT_MAX = 2.0
+
+
+@dataclass
+class IntervalPdf:
+    """A binned PDF of RTT-normalized loss intervals.
+
+    ``density[i]`` is the estimated probability density over
+    ``edges[i]..edges[i+1]``; ``mass[i] = density[i] * bin`` is the
+    probability of that bin.  ``n`` is the total number of intervals
+    (including those beyond ``edges[-1]``, which carry the residual mass).
+    """
+
+    edges: np.ndarray
+    density: np.ndarray
+    n: int
+    mean_interval: float  # RTT units, over ALL intervals
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bin midpoints (RTT units)."""
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    @property
+    def bin_width(self) -> float:
+        """Width of one histogram bin (RTT units)."""
+        return float(self.edges[1] - self.edges[0])
+
+    @property
+    def mass(self) -> np.ndarray:
+        """Per-bin probability mass (density times bin width)."""
+        return self.density * self.bin_width
+
+    def fraction_below(self, x: float) -> float:
+        """Empirical fraction of intervals strictly below ``x`` RTT.
+
+        Computed from the binned mass (consistent with the figures); ``x``
+        is snapped up to the nearest bin edge.
+        """
+        if self.n == 0:
+            return float("nan")
+        k = int(np.ceil(round(x / self.bin_width, 9)))
+        return float(np.sum(self.mass[:k]))
+
+    def rate_per_rtt(self) -> float:
+        """Mean loss arrival rate in events per RTT (1 / mean interval)."""
+        if self.mean_interval <= 0:
+            return float("inf")
+        return 1.0 / self.mean_interval
+
+
+def interval_pdf(
+    intervals_rtt: np.ndarray,
+    bin_size: float = DEFAULT_BIN,
+    max_rtt: float = DEFAULT_MAX,
+) -> IntervalPdf:
+    """Histogram RTT-normalized intervals into a PDF at paper resolution.
+
+    Intervals beyond ``max_rtt`` fall outside the plotted range but still
+    count toward ``n`` and the mean (so the Poisson reference uses the true
+    rate, as in the paper).
+    """
+    x = np.asarray(intervals_rtt, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"intervals must be 1-D, got shape {x.shape}")
+    if bin_size <= 0 or max_rtt <= 0:
+        raise ValueError(f"bin_size and max_rtt must be positive")
+    if np.any(x < 0):
+        raise ValueError("negative intervals")
+    nbins = int(round(max_rtt / bin_size))
+    edges = np.linspace(0.0, nbins * bin_size, nbins + 1)
+    counts, _ = np.histogram(x, bins=edges)
+    n = len(x)
+    density = counts / (n * bin_size) if n > 0 else counts.astype(np.float64)
+    mean = float(x.mean()) if n > 0 else float("nan")
+    return IntervalPdf(edges=edges, density=density, n=n, mean_interval=mean)
+
+
+def poisson_reference_pdf(rate_per_rtt: float, edges: np.ndarray) -> np.ndarray:
+    """Binned PDF of the Poisson process with the same mean arrival rate.
+
+    A Poisson process's inter-arrival PDF is ``rate * exp(-rate * x)``;
+    binned consistently with :func:`interval_pdf` (bin mass / bin width)
+    so the two curves are directly comparable.
+    """
+    if rate_per_rtt <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_rtt}")
+    e = np.asarray(edges, dtype=np.float64)
+    # mass = exp(-r a) - exp(-r b), computed directly (not via the CDF) so
+    # tail bins keep full relative precision for large rates.
+    surv = np.exp(-rate_per_rtt * e)
+    mass = surv[:-1] - surv[1:]
+    widths = np.diff(e)
+    return mass / widths

@@ -1,0 +1,55 @@
+"""Analytic M/M/1/K references for simulator validation.
+
+The paper's argument leans on a simulated DropTail queue behaving like a
+real finite FIFO.  This module provides the closed-form M/M/1/K results —
+blocking probability, queue-length distribution, mean occupancy — used by
+the validation tests to check the simulator's loss rate against theory
+when driven with Poisson arrivals and (approximately) exponential service.
+
+For ``rho = lambda/mu`` and buffer ``K`` (packets, including the one in
+service):
+
+    P[n]     = rho^n (1 - rho) / (1 - rho^(K+1))          (rho != 1)
+    P_block  = P[K]
+    E[N]     = sum n P[n]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mm1k_distribution",
+    "mm1k_blocking_probability",
+    "mm1k_mean_occupancy",
+    "mm1_utilization",
+]
+
+
+def mm1k_distribution(rho: float, k: int) -> np.ndarray:
+    """Stationary occupancy distribution P[0..K] of an M/M/1/K queue."""
+    if rho <= 0:
+        raise ValueError(f"rho must be positive, got {rho}")
+    if k < 1:
+        raise ValueError(f"K must be >= 1, got {k}")
+    n = np.arange(k + 1)
+    if abs(rho - 1.0) < 1e-12:
+        return np.full(k + 1, 1.0 / (k + 1))
+    p = rho**n * (1.0 - rho) / (1.0 - rho ** (k + 1))
+    return p
+
+
+def mm1k_blocking_probability(rho: float, k: int) -> float:
+    """Probability an arrival finds the buffer full (loss rate)."""
+    return float(mm1k_distribution(rho, k)[-1])
+
+
+def mm1k_mean_occupancy(rho: float, k: int) -> float:
+    """Expected number of packets in the system."""
+    p = mm1k_distribution(rho, k)
+    return float(np.dot(np.arange(k + 1), p))
+
+
+def mm1_utilization(rho: float, k: int) -> float:
+    """Server utilization: carried load = rho * (1 - P_block)."""
+    return float(min(1.0, rho * (1.0 - mm1k_blocking_probability(rho, k))))

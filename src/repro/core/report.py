@@ -1,0 +1,113 @@
+"""Paper-shaped text output for figures and tables.
+
+Benchmarks print the same rows/series the paper reports; this module holds
+the shared formatting so bench output is consistent and diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "format_pdf_series",
+    "format_table",
+    "format_series",
+    "pdf_figure_text",
+    "write_csv",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in srows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float) or isinstance(v, np.floating):
+        if v != v:  # NaN
+            return "nan"
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.001:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_series(
+    x: np.ndarray, y: np.ndarray, xlabel: str = "x", ylabel: str = "y", every: int = 1
+) -> str:
+    """Two-column series dump (decimated by ``every`` for long series)."""
+    lines = [f"{xlabel:>12s} {ylabel:>14s}"]
+    for xi, yi in zip(x[::every], y[::every]):
+        lines.append(f"{xi:12.4f} {yi:14.6g}")
+    return "\n".join(lines)
+
+
+def format_pdf_series(
+    centers: np.ndarray,
+    measured: np.ndarray,
+    poisson: np.ndarray,
+    every: int = 5,
+) -> str:
+    """Figure 2/3/4-shaped dump: interval (RTT), measured PDF, Poisson PDF."""
+    lines = [f"{'interval(RTT)':>14s} {'measured':>12s} {'poisson':>12s}"]
+    for c, m, p in zip(centers[::every], measured[::every], poisson[::every]):
+        lines.append(f"{c:14.3f} {m:12.5g} {p:12.5g}")
+    return "\n".join(lines)
+
+
+def write_csv(path: Union[str, Path], columns: Mapping[str, np.ndarray]) -> Path:
+    """Write named, equal-length columns as a CSV (for external plotting).
+
+    Returns the resolved path.  Example::
+
+        write_csv("fig2.csv", {"interval_rtt": pdf.centers,
+                               "measured": pdf.density,
+                               "poisson": reference})
+    """
+    if not columns:
+        raise ValueError("need at least one column")
+    arrays = {k: np.asarray(v) for k, v in columns.items()}
+    lengths = {len(a) for a in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"column lengths differ: { {k: len(a) for k, a in arrays.items()} }")
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(arrays.keys())
+        for row in zip(*arrays.values()):
+            writer.writerow(row)
+    return p
+
+
+def pdf_figure_text(pdf, poisson_density: np.ndarray, caption: str) -> str:
+    """Full figure block: caption, headline mass fractions, decimated series."""
+    head = (
+        f"{caption}\n"
+        f"  n_intervals={pdf.n}  mean_interval={pdf.mean_interval:.4g} RTT\n"
+        f"  mass < 0.01 RTT: {pdf.fraction_below(0.01) * 100:.1f}%   "
+        f"mass < 1 RTT: {pdf.fraction_below(1.0) * 100:.1f}%"
+    )
+    return head + "\n" + format_pdf_series(pdf.centers, pdf.density, poisson_density)

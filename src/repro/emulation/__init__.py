@@ -1,0 +1,25 @@
+"""Dummynet-equivalent emulation substrate (paper §3.1, Figure 3).
+
+A non-ideal bottleneck: 1 ms clock quantization on drop timestamps,
+random per-packet processing noise, and the paper's four fixed RTT
+classes (2, 10, 50, 200 ms).
+"""
+
+from repro.emulation.clock import QuantizedClock, quantize
+from repro.emulation.dummynet import (
+    RTT_CLASSES,
+    DummynetConfig,
+    NoisyLink,
+    QuantizedDropTrace,
+    build_dummynet_dumbbell,
+)
+
+__all__ = [
+    "DummynetConfig",
+    "NoisyLink",
+    "QuantizedClock",
+    "QuantizedDropTrace",
+    "RTT_CLASSES",
+    "build_dummynet_dumbbell",
+    "quantize",
+]

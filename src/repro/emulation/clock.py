@@ -1,0 +1,40 @@
+"""Quantized clocks.
+
+The paper's Dummynet router runs FreeBSD with a 1 ms system clock ("all
+Dummynet records have a resolution of 1ms"), so the emulation substrate
+quantizes both trace timestamps and (optionally) timer firings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["QuantizedClock", "quantize"]
+
+
+def quantize(t: float | np.ndarray, resolution: float):
+    """Floor ``t`` to a multiple of ``resolution`` (vectorized)."""
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution}")
+    return np.floor(np.asarray(t) / resolution) * resolution
+
+
+class QuantizedClock:
+    """Read-side clock wrapper with a fixed tick resolution.
+
+    Wraps a simulator so reads return the latest tick boundary, mimicking
+    an OS that timestamps events with a coarse jiffy counter.
+    """
+
+    def __init__(self, sim, resolution: float = 1e-3):
+        if resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {resolution}")
+        self.sim = sim
+        self.resolution = float(resolution)
+
+    @property
+    def now(self) -> float:
+        """Current time floored to the clock resolution."""
+        return math.floor(self.sim.now / self.resolution) * self.resolution

@@ -1,0 +1,51 @@
+"""Experiment drivers — one per paper figure/table (see DESIGN.md §4).
+
+Each ``run_*`` function builds its scenario from a :class:`Scale` profile
+(``REPRO_SCALE=fast|paper``), runs it, and returns a result object with
+the paper's headline numbers plus ``to_text()`` producing the same rows /
+series the paper reports.
+"""
+
+from repro.experiments.common import FAST, PAPER, Scale, current_scale
+from repro.experiments.eq12_detection import Eq12Result, analytic_table, run_eq12
+from repro.experiments.fig2_ns2 import Fig2Result, run_fig2
+from repro.experiments.fig3_dummynet import Fig3Result, run_fig3
+from repro.experiments.fig4_planetlab import Fig4Result, run_fig4
+from repro.experiments.fig7_competition import Fig7Result, run_fig7
+from repro.experiments.fig8_parallel import Fig8Result, run_fig8, run_fig8_cell
+from repro.experiments.mapreduce_shuffle import MapReduceResult, run_mapreduce
+from repro.experiments.methodology import MethodologyResult, run_methodology
+from repro.experiments.parallel import default_workers, parallel_map
+from repro.experiments.shortflows import ShortFlowResult, run_shortflows
+from repro.experiments.table1_sites import Table1Result, run_table1
+
+__all__ = [
+    "FAST",
+    "PAPER",
+    "Eq12Result",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig7Result",
+    "Fig8Result",
+    "MapReduceResult",
+    "MethodologyResult",
+    "Scale",
+    "ShortFlowResult",
+    "Table1Result",
+    "analytic_table",
+    "current_scale",
+    "default_workers",
+    "parallel_map",
+    "run_eq12",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig7",
+    "run_fig8",
+    "run_fig8_cell",
+    "run_mapreduce",
+    "run_methodology",
+    "run_shortflows",
+    "run_table1",
+]

@@ -1,0 +1,143 @@
+"""MapReduce shuffle predictability (paper future work + §5 lesson).
+
+The paper's §5 advises: in a tightly controlled environment, "a rate-based
+implementation has an advantage in that it makes TCP more fair, and leads
+to better predictability of throughput for concurrent flows."  Its future
+work proposes testing this on "a complete graph topology in MapReduce".
+
+This driver runs the same M x R shuffle under window-based (NewReno) and
+rate-based (paced) senders across several seeds and compares the
+*distributions* of shuffle makespan: the rate-based shuffle should show
+visibly lower run-to-run variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.mapreduce import MapReduceShuffle, ShuffleConfig
+from repro.core.report import format_table
+from repro.experiments.common import Scale, current_scale
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.pacing import PacedSender
+
+__all__ = ["ShuffleClassStats", "MapReduceResult", "run_mapreduce"]
+
+
+@dataclass
+class ShuffleClassStats:
+    """Makespan statistics of one sender class across seeds."""
+
+    label: str
+    latencies: np.ndarray  # normalized makespans
+    spreads: np.ndarray  # straggler spreads (seconds)
+
+    @property
+    def mean(self) -> float:
+        """Mean normalized makespan across seeds."""
+        return float(self.latencies.mean())
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the normalized makespan across seeds."""
+        return float(self.latencies.std())
+
+    @property
+    def worst(self) -> float:
+        """Worst (largest) normalized makespan observed."""
+        return float(self.latencies.max())
+
+    @property
+    def mean_spread(self) -> float:
+        """Mean straggler spread: slowest minus fastest reducer completion
+        within a shuffle — the §5 fairness/predictability metric."""
+        return float(self.spreads.mean())
+
+
+@dataclass
+class MapReduceResult:
+    """Window-based vs rate-based shuffle statistics."""
+    window: ShuffleClassStats
+    rate: ShuffleClassStats
+    config: ShuffleConfig
+
+    def to_text(self) -> str:
+        """Render the paper-shaped text block for this result."""
+        rows = [
+            [c.label, round(c.mean, 3), round(c.std, 4), round(c.worst, 3),
+             round(float(c.spreads.mean()), 4)]
+            for c in (self.window, self.rate)
+        ]
+        head = format_table(
+            ["sender class", "mean latency", "std", "worst", "straggler spread(s)"],
+            rows,
+            title=(
+                f"MapReduce shuffle ({self.config.n_mappers}x"
+                f"{self.config.n_reducers}, "
+                f"{self.config.bytes_per_partition / 2**20:.2g} MB/partition) — "
+                "normalized makespan across seeds"
+            ),
+        )
+        ratio = (
+            self.window.mean_spread / self.rate.mean_spread
+            if self.rate.mean_spread > 0
+            else float("inf")
+        )
+        return head + (
+            f"\nstraggler spread (window/rate ratio): {ratio:.1f}x "
+            "(paper §5: rate-based is fairer across concurrent flows)"
+        )
+
+
+def _run_class(sender_cls, seeds, cfg: ShuffleConfig) -> ShuffleClassStats:
+    lats, spreads = [], []
+    for seed in seeds:
+        sim = Simulator()
+        shuffle = MapReduceShuffle(sim, cfg, streams=RngStreams(seed))
+        res = shuffle.run(horizon=600.0)
+        lats.append(res.normalized_latency)
+        spreads.append(res.straggler_spread)
+    return ShuffleClassStats(
+        label=sender_cls.variant,
+        latencies=np.asarray(lats),
+        spreads=np.asarray(spreads),
+    )
+
+
+def run_mapreduce(
+    seed: int = 1,
+    scale: Optional[Scale] = None,
+    n_seeds: int = 5,
+) -> MapReduceResult:
+    """Run the shuffle comparison at the active scale."""
+    sc = current_scale(scale)
+    # Shuffle sizing follows the scale's Figure 8 budget.  Partitions must
+    # be long enough that congestion-avoidance dynamics (not slow-start
+    # quantization) set the reducer skew: half the per-reducer share at
+    # fast scale, the full share at paper scale, with a buffer deep enough
+    # for the larger paper-scale incast.
+    n = 4 if sc.name == "fast" else 8
+    divisor = n * n * 2 if sc.name == "fast" else n * n
+    per_partition = max(128 * 1024, sc.fig8_total_bytes // divisor)
+    buffer_pkts = 32 if sc.name == "fast" else 64
+    cfg_window = ShuffleConfig(
+        n_mappers=n, n_reducers=n, bytes_per_partition=per_partition,
+        sender_cls=NewRenoSender,
+        downlink_rate_bps=sc.fig8_capacity_bps, buffer_pkts=buffer_pkts,
+    )
+    cfg_rate = ShuffleConfig(
+        n_mappers=n, n_reducers=n, bytes_per_partition=per_partition,
+        sender_cls=PacedSender,
+        downlink_rate_bps=sc.fig8_capacity_bps, buffer_pkts=buffer_pkts,
+    )
+    seeds = [seed * 100 + i for i in range(n_seeds)]
+    return MapReduceResult(
+        window=_run_class(NewRenoSender, seeds, cfg_window),
+        rate=_run_class(PacedSender, seeds, cfg_rate),
+        config=cfg_window,
+    )

@@ -1,0 +1,43 @@
+"""Paper §5 / future-work extensions.
+
+* :mod:`repro.extensions.ecn` — the persistent one-RTT ECN congestion
+  signal of reference [22], as a queue discipline.
+* :mod:`repro.extensions.ecn_fairness` — rerunning the Figure 7
+  competition under the ECN signal to show the fairness fix.
+* :mod:`repro.extensions.red_tuning` — RED parameter sweeps quantifying
+  both of the paper's claims: RED de-bursts the loss process, and its
+  parameters are easy to get wrong.
+* :mod:`repro.extensions.delay_based` — the [23] comparison: delay-based
+  (FAST) vs loss-based control on stability, fairness, and loss itself.
+"""
+
+from repro.extensions.delay_based import (
+    DelayBasedResult,
+    SignalOutcome,
+    jain_index,
+    run_delay_based,
+)
+from repro.extensions.ecn import PersistentEcnQueue
+from repro.extensions.ecn_fairness import EcnFairnessResult, run_ecn_fairness
+from repro.extensions.red_tuning import (
+    RedOutcome,
+    RedSetting,
+    red_default_grid,
+    run_red_sweep,
+    sweep_table,
+)
+
+__all__ = [
+    "DelayBasedResult",
+    "EcnFairnessResult",
+    "PersistentEcnQueue",
+    "RedOutcome",
+    "RedSetting",
+    "SignalOutcome",
+    "jain_index",
+    "red_default_grid",
+    "run_delay_based",
+    "run_ecn_fairness",
+    "run_red_sweep",
+    "sweep_table",
+]

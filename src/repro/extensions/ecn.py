@@ -1,0 +1,83 @@
+"""Persistent one-RTT ECN congestion signal (paper §5, reference [22]).
+
+The paper's proposed fix for loss burstiness: instead of the loss signal —
+a sub-RTT burst that only some flows sample — the router raises an ECN
+signal that *persists for one full RTT* after congestion onset, marking
+every ECN-capable packet in that window.  Since every active flow sends at
+least one packet per RTT, (nearly) every flow receives the signal exactly
+once per congestion event: uniform detection, restoring fairness between
+window-based and rate-based implementations.
+
+:class:`PersistentEcnQueue` implements the router side; the sender side is
+the standard once-per-window ECN reaction already built into
+:class:`repro.tcp.base.TcpSender` (enable with ``ecn=True``).
+"""
+
+from __future__ import annotations
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, EnqueueResult
+
+__all__ = ["PersistentEcnQueue"]
+
+
+class PersistentEcnQueue(DropTailQueue):
+    """DropTail buffer that raises a one-RTT-wide marking window on
+    congestion onset.
+
+    Congestion onset is detected when the queue crosses
+    ``onset_threshold`` (a fraction of capacity, default 50% so the signal
+    precedes buffer overflow and flows can back off before losses start)
+    or overflows.
+    From onset time ``t`` until ``t + signal_duration`` every ECN-capable
+    arrival is marked (and still enqueued if there is room).  Non-ECN
+    packets fall back to DropTail behaviour.
+
+    ``signal_duration`` should be set to (an upper estimate of) the RTT of
+    the participating flows — the "persistent signal for one RTT" of [22].
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        signal_duration: float,
+        onset_threshold: float = 0.5,
+        name: str = "pecn",
+    ):
+        super().__init__(capacity_pkts, name=name)
+        if signal_duration <= 0:
+            raise ValueError(f"signal_duration must be positive, got {signal_duration}")
+        if not (0.0 < onset_threshold <= 1.0):
+            raise ValueError(f"onset_threshold must be in (0, 1], got {onset_threshold}")
+        self.signal_duration = float(signal_duration)
+        self.onset_threshold = float(onset_threshold)
+        self.marking_until: float = -1.0
+        self.signals_raised = 0
+
+    def _maybe_raise_signal(self, now: float) -> None:
+        if now >= self.marking_until:
+            self.marking_until = now + self.signal_duration
+            self.signals_raised += 1
+
+    def push(self, pkt: Packet, now: float) -> EnqueueResult:
+        """Offer a packet to the buffer; returns the enqueue outcome."""
+        self.arrived += 1
+        full = len(self._q) >= self.capacity
+        # Occupancy including this arrival: the signal fires when the queue
+        # would reach the threshold.
+        congested = full or (len(self._q) + 1) >= self.onset_threshold * self.capacity
+        if congested:
+            self._maybe_raise_signal(now)
+
+        marking = now < self.marking_until
+        if full:
+            # Overflow still drops — ECN cannot create buffer space.
+            self.dropped += 1
+            return EnqueueResult.DROPPED
+        if marking and pkt.ecn_capable:
+            pkt.ecn_marked = True
+            self.marked += 1
+            self._accept(pkt)
+            return EnqueueResult.MARKED
+        self._accept(pkt)
+        return EnqueueResult.ENQUEUED

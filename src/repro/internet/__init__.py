@@ -1,0 +1,48 @@
+"""PlanetLab-equivalent Internet measurement substrate (paper §3.1, Figure 4).
+
+We cannot probe the 2006 Internet; this package substitutes a synthetic
+mesh that follows the paper's methodology exactly — 26 sites (Table 1,
+:mod:`repro.internet.sites`), 650 directed paths with seeded RTTs and
+diurnal variation (:mod:`repro.internet.paths`), per-path two-timescale
+bursty loss models (:mod:`repro.internet.pathmodel`), 48 B / 400 B CBR
+probe pairs with the similarity validation rule
+(:mod:`repro.internet.probe`), and random-pair campaign orchestration
+(:mod:`repro.internet.campaign`).
+"""
+
+from repro.internet.campaign import Campaign, CampaignResult, Experiment
+from repro.internet.pathmodel import PathLossModel, sample_path_loss_model
+from repro.internet.paths import PathRtt, RttMatrix, build_rtt_matrix
+from repro.internet.probe import (
+    PROBE_SIZES,
+    ProbeConfig,
+    ProbeRun,
+    run_probe,
+    validate_pair,
+)
+from repro.internet.simpath import LossyLink, build_sim_path
+from repro.internet.sites import SITES, Region, Site, n_directed_paths, sites, sites_by_region
+
+__all__ = [
+    "Campaign",
+    "CampaignResult",
+    "Experiment",
+    "LossyLink",
+    "PROBE_SIZES",
+    "PathLossModel",
+    "PathRtt",
+    "ProbeConfig",
+    "ProbeRun",
+    "Region",
+    "RttMatrix",
+    "SITES",
+    "Site",
+    "build_rtt_matrix",
+    "build_sim_path",
+    "n_directed_paths",
+    "run_probe",
+    "sample_path_loss_model",
+    "sites",
+    "sites_by_region",
+    "validate_pair",
+]

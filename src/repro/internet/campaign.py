@@ -1,0 +1,162 @@
+"""Measurement campaign orchestration (paper §3.1, Internet leg).
+
+"From October 2006 to December 2006, we periodically initiate constant bit
+rate (CBR) flows between two randomly picked sites": the campaign picks
+random directed site pairs, runs the 48 B / 400 B probe pair against the
+path's loss model (same congestion episodes for both runs), applies the
+validation rule, and pools RTT-normalized loss intervals across validated
+experiments — the dataset behind Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.internet.pathmodel import PathLossModel, sample_path_loss_model
+from repro.internet.paths import PathRtt, RttMatrix
+from repro.internet.probe import PROBE_SIZES, ProbeConfig, ProbeRun, run_probe, validate_pair
+from repro.internet.sites import SITES
+from repro.sim.rng import RngStreams
+
+__all__ = ["Experiment", "CampaignResult", "Campaign"]
+
+
+@dataclass
+class Experiment:
+    """One validated (or rejected) path measurement."""
+
+    path: PathRtt
+    small: ProbeRun
+    large: ProbeRun
+    valid: bool
+    #: Campaign-clock start time in seconds (paper: experiments spread
+    #: periodically over October-December 2006).  The path's diurnal RTT at
+    #: this time is what the runs were normalized with.
+    started_at: float = 0.0
+
+    def intervals_rtt(self) -> np.ndarray:
+        """Pooled RTT-normalized intervals of both runs (validated use)."""
+        return np.concatenate((self.small.intervals_rtt(), self.large.intervals_rtt()))
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated campaign output."""
+
+    experiments: list[Experiment] = field(default_factory=list)
+
+    @property
+    def n_valid(self) -> int:
+        """Experiments that passed the 48B/400B validation."""
+        return sum(1 for e in self.experiments if e.valid)
+
+    @property
+    def n_rejected(self) -> int:
+        """Experiments discarded by the validation rule."""
+        return len(self.experiments) - self.n_valid
+
+    def all_intervals_rtt(self) -> np.ndarray:
+        """RTT-normalized loss intervals pooled over validated experiments
+        (the Figure 4 dataset)."""
+        parts = [e.intervals_rtt() for e in self.experiments if e.valid]
+        if not parts:
+            return np.empty(0)
+        return np.concatenate(parts)
+
+    def paths_measured(self) -> set[tuple[str, str]]:
+        """Distinct (src, dst) hostname pairs with validated data."""
+        return {
+            (e.path.src.hostname, e.path.dst.hostname)
+            for e in self.experiments
+            if e.valid
+        }
+
+    def mean_loss_rate(self) -> float:
+        """Mean per-packet loss rate over validated experiments."""
+        rates = [
+            0.5 * (e.small.loss_rate + e.large.loss_rate)
+            for e in self.experiments
+            if e.valid
+        ]
+        return float(np.mean(rates)) if rates else float("nan")
+
+
+class Campaign:
+    """Random-pair CBR measurement campaign over the 26-site mesh."""
+
+    def __init__(
+        self,
+        seed: int = 2006,
+        probe_config: Optional[ProbeConfig] = None,
+        rtt_matrix: Optional[RttMatrix] = None,
+    ):
+        self.streams = RngStreams(seed)
+        self.matrix = rtt_matrix if rtt_matrix is not None else RttMatrix(self.streams)
+        self.probe_config = probe_config or ProbeConfig()
+        self._models: dict[tuple[str, str], PathLossModel] = {}
+
+    def model_for(self, path: PathRtt) -> PathLossModel:
+        """The (cached) loss model of a path."""
+        key = (path.src.hostname, path.dst.hostname)
+        m = self._models.get(key)
+        if m is None:
+            m = sample_path_loss_model(path, self.streams)
+            self._models[key] = m
+        return m
+
+    def pick_path(self, rng: np.random.Generator) -> PathRtt:
+        """Two distinct random sites -> the directed path between them."""
+        i, j = rng.choice(len(SITES), size=2, replace=False)
+        return self.matrix.path(SITES[i], SITES[j])
+
+    def run_experiment(
+        self, path: PathRtt, index: int, started_at: float = 0.0
+    ) -> Experiment:
+        """The paper's unit of measurement: a 48 B run and a 400 B run over
+        the same path under the same congestion-episode weather.
+
+        ``started_at`` places the experiment on the campaign clock; the
+        runs are normalized by the path's diurnal RTT at that time
+        ("depending on the time of the day", §3.1).
+        """
+        model = self.model_for(path)
+        rng = self.streams.stream(f"exp/{index}")
+        horizon = self.probe_config.duration * 1.01
+        episodes = model.sample_episodes(horizon, rng)
+        rtt_now = path.rtt_at(started_at)
+        small = run_probe(
+            path, model, rng, self.probe_config, packet_size=PROBE_SIZES[0],
+            episodes=episodes,
+        )
+        large = run_probe(
+            path, model, rng, self.probe_config, packet_size=PROBE_SIZES[1],
+            episodes=episodes,
+        )
+        small.rtt = rtt_now
+        large.rtt = rtt_now
+        return Experiment(
+            path=path, small=small, large=large,
+            valid=validate_pair(small, large), started_at=started_at,
+        )
+
+    #: Campaign span: October-December 2006 is ~92 days.
+    CAMPAIGN_SPAN_SECONDS = 92 * 86_400.0
+
+    def run(self, n_experiments: int) -> CampaignResult:
+        """Run ``n_experiments`` random-pair measurements, spread uniformly
+        over the campaign's three-month clock."""
+        if n_experiments <= 0:
+            raise ValueError(f"need a positive experiment count, got {n_experiments}")
+        picker = self.streams.stream("pair-picker")
+        when = self.streams.stream("schedule")
+        result = CampaignResult()
+        starts = np.sort(when.uniform(0.0, self.CAMPAIGN_SPAN_SECONDS, n_experiments))
+        for i in range(n_experiments):
+            path = self.pick_path(picker)
+            result.experiments.append(
+                self.run_experiment(path, i, started_at=float(starts[i]))
+            )
+        return result

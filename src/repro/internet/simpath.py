@@ -1,0 +1,107 @@
+"""Internet paths inside the event simulator.
+
+:mod:`repro.internet.probe` applies a :class:`PathLossModel` analytically
+(fast, used by the Figure 4 campaign).  This module provides the
+*simulator-integrated* equivalent: a :class:`LossyLink` whose drops follow
+the same congestion-episode weather, so a synthetic Internet path can
+carry live protocol traffic — TCP over a measured-like WAN, probes with
+real queueing, mixtures of both.
+
+The two faces of the model are consistent by construction: the episode
+schedule is drawn once (per link) from the same generator family.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.internet.pathmodel import PathLossModel
+from repro.internet.paths import PathRtt
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host, Node
+from repro.sim.packet import Packet
+from repro.sim.trace import DropTrace
+
+__all__ = ["LossyLink", "build_sim_path"]
+
+
+class LossyLink(Link):
+    """Link that drops packets per a :class:`PathLossModel`'s weather.
+
+    Episodes are pre-sampled over ``horizon`` seconds; a packet offered
+    while inside an episode window is dropped with the model's episode
+    drop probability, otherwise with its thin random-loss probability.
+    Surviving packets go through normal link service (rate + delay).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst: Node,
+        rate_bps: float,
+        delay: float,
+        model: PathLossModel,
+        rng: np.random.Generator,
+        horizon: float = 600.0,
+        **kw,
+    ):
+        super().__init__(sim, dst, rate_bps, delay, **kw)
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.model = model
+        self.rng = rng
+        self.horizon = float(horizon)
+        self._starts, self._durations = model.sample_episodes(horizon, rng)
+        self.model_drops = 0
+
+    def _in_episode(self, now: float) -> bool:
+        if len(self._starts) == 0:
+            return False
+        idx = int(np.searchsorted(self._starts, now, side="right")) - 1
+        if idx < 0:
+            return False
+        return now < self._starts[idx] + self._durations[idx]
+
+    def send(self, pkt: Packet):
+        """Offer a packet to this component for forwarding."""
+        now = self.sim.now
+        p = (
+            self.model.episode_drop_prob
+            if self._in_episode(now)
+            else self.model.random_loss_prob
+        )
+        if p > 0.0 and self.rng.random() < p:
+            self.model_drops += 1
+            if self.drop_trace is not None:
+                self.drop_trace.record(pkt, now, marked=False)
+            return None
+        return super().send(pkt)
+
+
+def build_sim_path(
+    sim: Simulator,
+    path: PathRtt,
+    model: PathLossModel,
+    rng: np.random.Generator,
+    access_rate_bps: float = 100e6,
+    horizon: float = 600.0,
+) -> tuple[Host, Host, DropTrace]:
+    """Wire two hosts over a lossy forward / clean reverse WAN path.
+
+    Returns ``(src_host, dst_host, forward_drop_trace)``.  Propagation is
+    split evenly between the directions so the host-to-host RTT equals
+    ``path.base_rtt``.
+    """
+    src = Host(sim, name=f"src.{path.src.hostname.split('.')[0]}")
+    dst = Host(sim, name=f"dst.{path.dst.hostname.split('.')[0]}")
+    one_way = path.base_rtt / 2.0
+    trace = DropTrace(f"{path.src.hostname}->{path.dst.hostname}")
+    fwd = LossyLink(
+        sim, dst, access_rate_bps, one_way, model, rng,
+        horizon=horizon, drop_trace=trace, name="wan-fwd",
+    )
+    rev = Link(sim, src, access_rate_bps, one_way, name="wan-rev")
+    src.uplink = fwd
+    dst.uplink = rev
+    return src, dst, trace

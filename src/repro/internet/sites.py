@@ -1,0 +1,85 @@
+"""PlanetLab measurement sites (paper Table 1).
+
+The paper's Internet measurements span 26 PlanetLab sites: 6 in
+California, 11 elsewhere in the United States, 3 in Canada, and the rest
+in Asia, Europe, and South America — 650 directed paths in the complete
+graph.  The registry below reproduces Table 1 verbatim and adds a coarse
+geographic region used by the synthetic RTT model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Region", "Site", "SITES", "sites", "n_directed_paths", "sites_by_region"]
+
+
+class Region(enum.Enum):
+    """Coarse geography for RTT synthesis."""
+
+    CALIFORNIA = "california"
+    US_WEST = "us-west"
+    US_CENTRAL = "us-central"
+    US_EAST = "us-east"
+    CANADA = "canada"
+    EUROPE = "europe"
+    MIDDLE_EAST = "middle-east"
+    ASIA = "asia"
+    SOUTH_AMERICA = "south-america"
+
+
+@dataclass(frozen=True)
+class Site:
+    """One PlanetLab node."""
+
+    hostname: str
+    location: str
+    region: Region
+
+
+#: Table 1, in paper order.
+SITES: tuple[Site, ...] = (
+    Site("planetlab2.cs.ucla.edu", "Los Angeles, CA", Region.CALIFORNIA),
+    Site("planetlab2.postel.org", "Marina Del Rey, CA", Region.CALIFORNIA),
+    Site("planet2.cs.ucsb.edu", "Santa Barbara, CA", Region.CALIFORNIA),
+    Site("planetlab11.millennium.berkeley.edu", "Berkeley, CA", Region.CALIFORNIA),
+    Site("planetlab1.nycm.internet2.planet-lab.org", "Marina del Rey, CA", Region.CALIFORNIA),
+    Site("planetlab2.kscy.internet2.planet-lab.org", "Marina del Rey, CA", Region.CALIFORNIA),
+    Site("planetlab3.cs.uoregon.edu", "Eugene, OR", Region.US_WEST),
+    Site("planetlab1.cs.ubc.ca", "Vancouver, Canada", Region.CANADA),
+    Site("kupl1.ittc.ku.edu", "Lawrence, KS", Region.US_CENTRAL),
+    Site("planetlab2.cs.uiuc.edu", "Urbana, IL", Region.US_CENTRAL),
+    Site("planetlab2.tamu.edu", "College Station, TX", Region.US_CENTRAL),
+    Site("planet.cc.gt.atl.ga.us", "Atlanta, GA", Region.US_EAST),
+    Site("planetlab2.uc.edu", "Cincinnati, Ohio", Region.US_EAST),
+    Site("planetlab-2.eecs.cwru.edu", "Cleveland, OH", Region.US_EAST),
+    Site("planetlab1.cs.duke.edu", "Durham, NC", Region.US_EAST),
+    Site("planetlab-10.cs.princeton.edu", "Princeton, NJ", Region.US_EAST),
+    Site("planetlab1.cs.cornell.edu", "Ithaca, NY", Region.US_EAST),
+    Site("planetlab2.isi.jhu.edu", "Baltimore, MD", Region.US_EAST),
+    Site("crt3.planetlab.umontreal.ca", "Montreal, Canada", Region.CANADA),
+    Site("planet2.toronto.canet4.nodes.planet-lab.org", "Toronto, Canada", Region.CANADA),
+    Site("planet1.cs.huji.ac.il", "Jerusalem, Israel", Region.MIDDLE_EAST),
+    Site("thu1.6planetlab.edu.cn", "Beijing, China", Region.ASIA),
+    Site("lzu1.6planetlab.edu.cn", "Lanzhou, China", Region.ASIA),
+    Site("planetlab2.iis.sinica.edu.tw", "Taipei, China", Region.ASIA),
+    Site("planetlab1.cesnet.cz", "Czech", Region.EUROPE),
+    Site("planetlab1.larc.usp.br", "Brazil", Region.SOUTH_AMERICA),
+)
+
+
+def sites() -> tuple[Site, ...]:
+    """All 26 sites, paper order."""
+    return SITES
+
+
+def n_directed_paths() -> int:
+    """Directed edges in the complete site graph: 26 * 25 = 650."""
+    n = len(SITES)
+    return n * (n - 1)
+
+
+def sites_by_region(region: Region) -> list[Site]:
+    """All sites located in the given region."""
+    return [s for s in SITES if s.region == region]

@@ -1,0 +1,160 @@
+"""Event scheduler for the discrete-event network simulator.
+
+The engine is a classic binary-heap event loop.  Determinism matters for
+reproducing the paper's traces, so events scheduled for the same timestamp
+are executed in scheduling order (a monotonically increasing sequence
+number breaks ties), and all randomness lives in named RNG streams
+(:mod:`repro.sim.rng`), never in the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A handle to a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; the only public operation is
+    :meth:`cancel`, which is O(1) (the heap entry is left in place and
+    skipped when popped).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn: Optional[Callable[..., Any]] = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled timers do not pin packets/agents.
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class Simulator:
+    """Discrete-event simulator clock and event queue.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "a")
+    >>> _ = sim.schedule(0.5, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self.events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time: {time!r}")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: t={time:.9f} < now={self.now:.9f}"
+            )
+        ev = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: float = math.inf, max_events: Optional[int] = None) -> None:
+        """Run events until the queue is empty, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        ``until`` is inclusive: events at exactly ``until`` execute, and the
+        clock is left at ``min(until, last event time)``.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            budget = math.inf if max_events is None else max_events
+            while heap and budget > 0:
+                ev = heap[0]
+                if ev.time > until:
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time
+                fn, args = ev.fn, ev.args
+                ev.fn, ev.args = None, ()  # release references
+                assert fn is not None
+                fn(*args)
+                self.events_processed += 1
+                budget -= 1
+            if math.isfinite(until) and self.now < until and not (heap and budget <= 0):
+                self.now = until
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute the single next pending event.  Returns False if idle."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            fn, args = ev.fn, ev.args
+            ev.fn, ev.args = None, ()
+            assert fn is not None
+            fn(*args)
+            self.events_processed += 1
+            return True
+        return False
+
+    def peek_time(self) -> float:
+        """Timestamp of the next pending event, or ``inf`` when idle."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else math.inf
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"

@@ -1,0 +1,132 @@
+"""Unidirectional store-and-forward links.
+
+A link models a transmission line with a service rate (bits/sec), a
+propagation delay (seconds), and an attached queue discipline.  A packet
+offered to a busy link waits in the queue; the head-of-line packet occupies
+the transmitter for ``size * 8 / rate`` seconds and arrives at the far node
+one propagation delay after its last bit leaves.
+
+Full-duplex connectivity is modelled as two independent ``Link`` objects
+(see :func:`repro.sim.topology.connect`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, EnqueueResult, Queue
+from repro.sim.trace import ArrivalTrace, DropTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Node
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a wire between two nodes.
+
+    Parameters
+    ----------
+    sim:
+        The event engine.
+    dst:
+        Receiving node; packets are delivered to ``dst.receive``.
+    rate_bps:
+        Transmission rate in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    queue:
+        Queue discipline; defaults to a large DropTail buffer (effectively
+        infinite for access links).
+    drop_trace / arrival_trace:
+        Optional instrumentation shared across links.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        dst: "Node",
+        rate_bps: float,
+        delay: float,
+        queue: Optional[Queue] = None,
+        name: Optional[str] = None,
+        drop_trace: Optional[DropTrace] = None,
+        arrival_trace: Optional[ArrivalTrace] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay < 0:
+            raise ValueError(f"link delay must be non-negative, got {delay}")
+        Link._ids += 1
+        self.name = name if name is not None else f"link{Link._ids}"
+        self.sim = sim
+        self.dst = dst
+        self.rate_bps = float(rate_bps)
+        self.delay = float(delay)
+        self.queue = queue if queue is not None else DropTailQueue(10**9, name=self.name)
+        self.drop_trace = drop_trace
+        self.arrival_trace = arrival_trace
+        self.busy = False
+        # Accounting
+        self.bytes_forwarded = 0
+        self.packets_forwarded = 0
+        self.busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> EnqueueResult:
+        """Offer a packet to the link.
+
+        If the transmitter is idle and the queue empty the packet starts
+        transmitting immediately; otherwise it is offered to the queue,
+        which may drop or ECN-mark it.
+        """
+        now = self.sim.now
+        if self.arrival_trace is not None:
+            self.arrival_trace.record(pkt, now)
+        if not self.busy and not self.queue:
+            self._transmit(pkt)
+            return EnqueueResult.ENQUEUED
+        result = self.queue.push(pkt, now)
+        if result is EnqueueResult.DROPPED:
+            if self.drop_trace is not None:
+                self.drop_trace.record(pkt, now, marked=False)
+        elif result is EnqueueResult.MARKED:
+            if self.drop_trace is not None:
+                self.drop_trace.record(pkt, now, marked=True)
+        return result
+
+    # ------------------------------------------------------------------
+    def _transmit(self, pkt: Packet) -> None:
+        self.busy = True
+        tx_time = pkt.size * 8.0 / self.rate_bps
+        self.busy_time += tx_time
+        self.sim.schedule(tx_time, self._transmission_done, pkt)
+
+    def _transmission_done(self, pkt: Packet) -> None:
+        self.bytes_forwarded += pkt.size
+        self.packets_forwarded += 1
+        self.sim.schedule(self.delay, self.dst.receive, pkt, self)
+        nxt = self.queue.pop(self.sim.now)
+        if nxt is not None:
+            self._transmit(nxt)
+        else:
+            self.busy = False
+
+    # ------------------------------------------------------------------
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the transmitter was busy."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return min(1.0, self.busy_time / duration)
+
+    def tx_time(self, size_bytes: int) -> float:
+        """Transmission time for a packet of ``size_bytes``."""
+        return size_bytes * 8.0 / self.rate_bps
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Link {self.name} ->{self.dst!r} {self.rate_bps/1e6:.1f}Mbps {self.delay*1e3:.1f}ms>"

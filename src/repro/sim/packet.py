@@ -1,0 +1,108 @@
+"""Packet records.
+
+Packets are deliberately lightweight ``__slots__`` objects: the paper-scale
+scenarios push millions of packets through the bottleneck, so per-packet
+allocation cost dominates.  Anything analytical happens *after* the
+simulation on NumPy arrays extracted from traces, never per packet.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+__all__ = ["Packet", "DATA", "ACK", "PROBE", "NOISE"]
+
+# Packet kinds.  Plain string constants keep per-packet cost minimal while
+# staying readable in traces.
+DATA = "data"
+ACK = "ack"
+PROBE = "probe"
+NOISE = "noise"
+
+_uid = itertools.count()
+
+
+class Packet:
+    """A single packet in flight.
+
+    Attributes
+    ----------
+    flow_id:
+        Integer identifier of the flow this packet belongs to.  ACKs carry
+        the same ``flow_id`` as the data packets they acknowledge.
+    seq:
+        Sequence number in packets (data) or the cumulative ACK number
+        (acks): the next expected data sequence number.
+    size:
+        Wire size in bytes (headers included; the simulator does not model
+        header overhead separately).
+    kind:
+        One of :data:`DATA`, :data:`ACK`, :data:`PROBE`, :data:`NOISE`.
+    src, dst:
+        Endpoint node identifiers used by routers for forwarding.
+    created:
+        Simulation timestamp at which the packet was handed to the network;
+        used for RTT sampling and one-way-delay analysis.
+    ecn_capable / ecn_marked:
+        Explicit Congestion Notification transport capability and
+        congestion-experienced codepoint (set by RED/ECN queues).
+    ecn_echo:
+        On ACKs: receiver echoes the congestion-experienced signal.
+    sack / meta:
+        Optional protocol-specific payloads (kept as plain attributes so the
+        hot path never allocates a dict).
+    """
+
+    __slots__ = (
+        "uid",
+        "flow_id",
+        "seq",
+        "size",
+        "kind",
+        "src",
+        "dst",
+        "created",
+        "ecn_capable",
+        "ecn_marked",
+        "ecn_echo",
+        "tx_id",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int,
+        size: int,
+        kind: str = DATA,
+        src: int = -1,
+        dst: int = -1,
+        created: float = 0.0,
+        ecn_capable: bool = False,
+        tx_id: int = 0,
+        meta: Optional[object] = None,
+    ):
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.uid = next(_uid)
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size = size
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.created = created
+        self.ecn_capable = ecn_capable
+        self.ecn_marked = False
+        self.ecn_echo = False
+        # Transmission id distinguishes retransmissions of the same seq so
+        # RTT samples obey Karn's algorithm.
+        self.tx_id = tx_id
+        self.meta = meta
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet {self.kind} flow={self.flow_id} seq={self.seq} "
+            f"size={self.size}B {self.src}->{self.dst}>"
+        )

@@ -1,0 +1,260 @@
+"""Queue disciplines: DropTail (FIFO) and RED, with optional ECN marking.
+
+The paper identifies the DropTail bottleneck as the primary source of
+sub-RTT loss burstiness (§3.3): once the FIFO buffer fills, *every* arrival
+is dropped until the senders back off roughly half an RTT later, producing
+a dense cluster of drops.  RED spreads drops out by dropping probabilistically
+as a function of the EWMA queue length; the repository's ablation benches
+quantify how much burstiness RED removes (§5).
+
+All disciplines share one interface so links and traces are agnostic:
+
+``push(pkt, now)`` returns an :class:`EnqueueResult` — ``ENQUEUED``,
+``DROPPED``, or ``MARKED`` (enqueued with the ECN congestion-experienced
+codepoint set).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.packet import Packet
+
+__all__ = ["EnqueueResult", "Queue", "DropTailQueue", "REDQueue", "REDParams"]
+
+
+class EnqueueResult(enum.Enum):
+    """Outcome of offering a packet to a queue."""
+
+    ENQUEUED = "enqueued"
+    DROPPED = "dropped"
+    MARKED = "marked"  # enqueued, ECN congestion-experienced set
+
+
+class Queue:
+    """Abstract FIFO buffer with a capacity in packets and, optionally,
+    bytes.
+
+    Capacity is in packets by default (the NS-2 convention the paper's
+    scenarios use: buffer sizes are quoted in fractions of the
+    bandwidth-delay product measured in packets).  Pass ``capacity_bytes``
+    for a byte-limited buffer (real routers limit memory, not slots); when
+    both are set the stricter one applies.
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        name: str = "queue",
+        capacity_bytes: Optional[int] = None,
+    ):
+        if capacity_pkts < 1:
+            raise ValueError(f"queue capacity must be >= 1 packet, got {capacity_pkts}")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError(f"byte capacity must be >= 1, got {capacity_bytes}")
+        self.capacity = int(capacity_pkts)
+        self.capacity_bytes = None if capacity_bytes is None else int(capacity_bytes)
+        self.name = name
+        self._q: deque[Packet] = deque()
+        self.bytes = 0
+        # Counters for conservation checks: arrived == enqueued + dropped,
+        # enqueued == dequeued + len(queue).
+        self.arrived = 0
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.marked = 0
+
+    def _fits(self, pkt: Packet) -> bool:
+        if len(self._q) >= self.capacity:
+            return False
+        if self.capacity_bytes is not None and self.bytes + pkt.size > self.capacity_bytes:
+            return False
+        return True
+
+    # -- interface ------------------------------------------------------
+    def push(self, pkt: Packet, now: float) -> EnqueueResult:
+        """Offer a packet to the buffer; returns the enqueue outcome."""
+        raise NotImplementedError
+
+    def pop(self, now: float) -> Optional[Packet]:
+        """Remove and return the head-of-line packet (None when empty)."""
+        if not self._q:
+            return None
+        pkt = self._q.popleft()
+        self.bytes -= pkt.size
+        self.dequeued += 1
+        return pkt
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    # -- shared helpers ---------------------------------------------------
+    def _accept(self, pkt: Packet) -> None:
+        self._q.append(pkt)
+        self.bytes += pkt.size
+        self.enqueued += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} {len(self._q)}/{self.capacity} pkts "
+            f"dropped={self.dropped}>"
+        )
+
+
+class DropTailQueue(Queue):
+    """Plain FIFO: accept until full, then drop every arrival."""
+
+    def push(self, pkt: Packet, now: float) -> EnqueueResult:
+        """Offer a packet to the buffer; returns the enqueue outcome."""
+        self.arrived += 1
+        if not self._fits(pkt):
+            self.dropped += 1
+            return EnqueueResult.DROPPED
+        self._accept(pkt)
+        return EnqueueResult.ENQUEUED
+
+
+class REDParams:
+    """Random Early Detection parameters (Floyd & Jacobson 1993).
+
+    Defaults follow the classic recommendations: ``min_th`` = 5 packets,
+    ``max_th`` = 3 * ``min_th``, ``weight`` = 0.002, ``max_p`` = 0.1.  The
+    paper's §5 caveat — "the parameter tunings of RED are difficult" — is
+    exactly why these are explicit and swept by the ablation bench.
+    """
+
+    __slots__ = ("min_th", "max_th", "weight", "max_p", "ecn", "gentle")
+
+    def __init__(
+        self,
+        min_th: float = 5.0,
+        max_th: float = 15.0,
+        weight: float = 0.002,
+        max_p: float = 0.1,
+        ecn: bool = False,
+        gentle: bool = True,
+    ):
+        if not (0 < min_th < max_th):
+            raise ValueError(f"need 0 < min_th < max_th, got {min_th}, {max_th}")
+        if not (0 < weight <= 1):
+            raise ValueError(f"EWMA weight must be in (0, 1], got {weight}")
+        if not (0 < max_p <= 1):
+            raise ValueError(f"max_p must be in (0, 1], got {max_p}")
+        self.min_th = float(min_th)
+        self.max_th = float(max_th)
+        self.weight = float(weight)
+        self.max_p = float(max_p)
+        self.ecn = bool(ecn)
+        self.gentle = bool(gentle)
+
+
+class REDQueue(Queue):
+    """Random Early Detection gateway.
+
+    Implements the original algorithm: an EWMA of the instantaneous queue
+    length (with the idle-period correction), early drop/mark probability
+    ramping linearly from 0 at ``min_th`` to ``max_p`` at ``max_th``, the
+    ``1/(1 - count * p_b)`` inter-drop spreading, and (optionally) the
+    "gentle" extension ramping from ``max_p`` to 1 between ``max_th`` and
+    ``2 * max_th``.
+
+    With ``params.ecn`` set, early notifications *mark* ECN-capable packets
+    instead of dropping them (hard overflow still drops).
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        params: Optional[REDParams] = None,
+        rng: Optional[np.random.Generator] = None,
+        mean_pkt_size: int = 1000,
+        service_rate_pps: float = 0.0,
+        name: str = "red",
+    ):
+        super().__init__(capacity_pkts, name=name)
+        self.params = params or REDParams()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.avg = 0.0
+        self._count = -1  # packets since last early drop/mark
+        self._idle_since: Optional[float] = 0.0
+        # Estimated service rate (packets/sec) for the idle-time correction;
+        # 0 disables the correction.
+        self.service_rate_pps = float(service_rate_pps)
+        self.mean_pkt_size = int(mean_pkt_size)
+
+    # -- EWMA -------------------------------------------------------------
+    def _update_avg(self, now: float) -> None:
+        q = len(self._q)
+        w = self.params.weight
+        if q == 0 and self._idle_since is not None and self.service_rate_pps > 0:
+            # Queue has been idle: decay the average as if m small packets
+            # had been serviced during the idle period.
+            m = max(0.0, (now - self._idle_since) * self.service_rate_pps)
+            self.avg *= (1.0 - w) ** m
+            self.avg += w * q  # q == 0 here; kept for symmetry
+        else:
+            self.avg = (1.0 - w) * self.avg + w * q
+
+    def _early_probability(self) -> float:
+        p = self.params
+        if self.avg < p.min_th:
+            return 0.0
+        if self.avg < p.max_th:
+            return p.max_p * (self.avg - p.min_th) / (p.max_th - p.min_th)
+        if p.gentle and self.avg < 2.0 * p.max_th:
+            return p.max_p + (1.0 - p.max_p) * (self.avg - p.max_th) / p.max_th
+        return 1.0
+
+    # -- interface ----------------------------------------------------------
+    def push(self, pkt: Packet, now: float) -> EnqueueResult:
+        """Offer a packet to the buffer; returns the enqueue outcome."""
+        self.arrived += 1
+        self._update_avg(now)
+        self._idle_since = None
+
+        if not self._fits(pkt):
+            # Hard overflow: behaves like DropTail regardless of the average.
+            self.dropped += 1
+            self._count = 0
+            return EnqueueResult.DROPPED
+
+        p_b = self._early_probability()
+        if p_b > 0.0:
+            self._count += 1
+            if p_b >= 1.0:
+                take = True
+            else:
+                # Spread early actions out: with count packets since the last
+                # action, act with probability p_b / (1 - count * p_b).
+                denom = 1.0 - self._count * p_b
+                p_a = 1.0 if denom <= 0 else min(1.0, p_b / denom)
+                take = bool(self.rng.random() < p_a)
+            if take:
+                self._count = 0
+                if self.params.ecn and pkt.ecn_capable and self.avg < self.params.max_th:
+                    pkt.ecn_marked = True
+                    self.marked += 1
+                    self._accept(pkt)
+                    return EnqueueResult.MARKED
+                self.dropped += 1
+                return EnqueueResult.DROPPED
+        else:
+            self._count = -1
+
+        self._accept(pkt)
+        return EnqueueResult.ENQUEUED
+
+    def pop(self, now: float) -> Optional[Packet]:
+        """Remove and return the head-of-line packet (None when empty)."""
+        pkt = super().pop(now)
+        if pkt is not None and not self._q:
+            self._idle_since = now
+        return pkt

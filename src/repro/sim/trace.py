@@ -1,0 +1,274 @@
+"""Measurement instrumentation: drop traces, throughput series, flow stats.
+
+The paper's primary dataset is the router drop trace — a timestamp for every
+packet dropped at the bottleneck (§3.1: "We record traces from the simulated
+routers for each event in which a packet is dropped").  Traces accumulate in
+plain Python lists during the simulation (cheap appends) and convert to NumPy
+arrays once for analysis, following the HPC guides' "simulate in objects,
+analyze in arrays" split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.packet import Packet
+
+__all__ = ["DropTrace", "ThroughputTrace", "FlowStats", "ArrivalTrace", "DelayTrace"]
+
+
+class DropTrace:
+    """Timestamped record of every packet dropped (or ECN-marked) at a queue."""
+
+    def __init__(self, name: str = "drops"):
+        self.name = name
+        self._times: list[float] = []
+        self._flow_ids: list[int] = []
+        self._seqs: list[int] = []
+        self._sizes: list[int] = []
+        self._marked: list[bool] = []
+
+    def record(self, pkt: Packet, now: float, marked: bool = False) -> None:
+        """Append one record at the given timestamp."""
+        self._times.append(now)
+        self._flow_ids.append(pkt.flow_id)
+        self._seqs.append(pkt.seq)
+        self._sizes.append(pkt.size)
+        self._marked.append(marked)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    # -- array views --------------------------------------------------------
+    @property
+    def times(self) -> np.ndarray:
+        """Drop timestamps (seconds), in event order (non-decreasing)."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def flow_ids(self) -> np.ndarray:
+        """Per-record flow ids as an int64 array."""
+        return np.asarray(self._flow_ids, dtype=np.int64)
+
+    @property
+    def seqs(self) -> np.ndarray:
+        """Per-record sequence numbers as an int64 array."""
+        return np.asarray(self._seqs, dtype=np.int64)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Per-record packet sizes (bytes) as an int64 array."""
+        return np.asarray(self._sizes, dtype=np.int64)
+
+    @property
+    def marked(self) -> np.ndarray:
+        """Per-record ECN-marked flags as a bool array."""
+        return np.asarray(self._marked, dtype=bool)
+
+    def drop_times(self) -> np.ndarray:
+        """Timestamps of true drops only (ECN marks excluded)."""
+        t = self.times
+        m = self.marked
+        return t[~m]
+
+    def flows_hit(self) -> np.ndarray:
+        """Distinct flow ids that lost at least one packet."""
+        return np.unique(self.flow_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<DropTrace {self.name}: {len(self)} records>"
+
+
+class ArrivalTrace:
+    """Timestamped record of packet arrivals at a queue (for burstiness
+    analysis of the *arrival* process, e.g. validating Figures 5/6)."""
+
+    def __init__(self, name: str = "arrivals"):
+        self.name = name
+        self._times: list[float] = []
+        self._flow_ids: list[int] = []
+
+    def record(self, pkt: Packet, now: float) -> None:
+        """Append one record at the given timestamp."""
+        self._times.append(now)
+        self._flow_ids.append(pkt.flow_id)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Record timestamps (seconds) in event order."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def flow_ids(self) -> np.ndarray:
+        """Per-record flow ids as an int64 array."""
+        return np.asarray(self._flow_ids, dtype=np.int64)
+
+
+class DelayTrace:
+    """Per-packet one-way delays observed at a receiver.
+
+    Records ``arrival_time - pkt.created``; the queueing component is the
+    excess over the observed minimum (propagation + serialization floor).
+    The direct observable behind bufferbloat and the delay-based control
+    of :mod:`repro.tcp.fast`.
+    """
+
+    def __init__(self, name: str = "delay"):
+        self.name = name
+        self._times: list[float] = []
+        self._delays: list[float] = []
+        self._flow_ids: list[int] = []
+
+    def record(self, pkt: Packet, now: float) -> None:
+        """Append one record at the given timestamp."""
+        self._times.append(now)
+        self._delays.append(now - pkt.created)
+        self._flow_ids.append(pkt.flow_id)
+
+    def __len__(self) -> int:
+        return len(self._delays)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Record timestamps (seconds) in event order."""
+        return np.asarray(self._times, dtype=np.float64)
+
+    @property
+    def delays(self) -> np.ndarray:
+        """Per-packet one-way delays (seconds)."""
+        return np.asarray(self._delays, dtype=np.float64)
+
+    @property
+    def flow_ids(self) -> np.ndarray:
+        """Per-record flow ids as an int64 array."""
+        return np.asarray(self._flow_ids, dtype=np.int64)
+
+    def queueing_delays(self) -> np.ndarray:
+        """Delays minus the observed floor (per-trace propagation bound)."""
+        d = self.delays
+        if len(d) == 0:
+            return d
+        return d - d.min()
+
+    def percentile(self, q: float) -> float:
+        """Delay percentile (NaN on an empty trace)."""
+        d = self.delays
+        if len(d) == 0:
+            return float("nan")
+        return float(np.percentile(d, q))
+
+
+class ThroughputTrace:
+    """Bytes delivered per fixed-width time bin, per flow group.
+
+    Used for the paper's Figure 7 (aggregate throughput of the paced group
+    vs. the NewReno group over time).  Flows are assigned to integer groups;
+    per-bin byte counts convert to Mbps series on demand.
+    """
+
+    def __init__(self, bin_width: float = 0.5, name: str = "throughput"):
+        if bin_width <= 0:
+            raise ValueError(f"bin width must be positive, got {bin_width}")
+        self.bin_width = float(bin_width)
+        self.name = name
+        self._groups: dict[int, dict[int, int]] = {}  # group -> bin -> bytes
+        self._flow_group: dict[int, int] = {}
+
+    def assign(self, flow_id: int, group: int) -> None:
+        """Assign ``flow_id`` to throughput group ``group``."""
+        self._flow_group[flow_id] = group
+        self._groups.setdefault(group, {})
+
+    def record(self, flow_id: int, nbytes: int, now: float) -> None:
+        """Append one record at the given timestamp."""
+        group = self._flow_group.get(flow_id)
+        if group is None:
+            return
+        b = int(now / self.bin_width)
+        bins = self._groups[group]
+        bins[b] = bins.get(b, 0) + nbytes
+
+    def groups(self) -> list[int]:
+        """Sorted group ids with recorded throughput."""
+        return sorted(self._groups)
+
+    def series(self, group: int, until: Optional[float] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(bin_centers_seconds, mbps)`` for a group."""
+        bins = self._groups.get(group, {})
+        if until is None:
+            last = max(bins) if bins else 0
+        else:
+            last = int(until / self.bin_width)
+        idx = np.arange(last + 1)
+        counts = np.zeros(last + 1, dtype=np.float64)
+        for b, nbytes in bins.items():
+            if b <= last:
+                counts[b] = nbytes
+        mbps = counts * 8.0 / self.bin_width / 1e6
+        centers = (idx + 0.5) * self.bin_width
+        return centers, mbps
+
+    def total_bytes(self, group: int) -> int:
+        """Total bytes delivered to the given group."""
+        return sum(self._groups.get(group, {}).values())
+
+    def mean_mbps(self, group: int, duration: float) -> float:
+        """Mean delivered rate of a group over ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_bytes(group) * 8.0 / duration / 1e6
+
+
+class FlowStats:
+    """Per-flow accounting kept by sources and sinks."""
+
+    __slots__ = (
+        "flow_id",
+        "packets_sent",
+        "bytes_sent",
+        "packets_received",
+        "bytes_received",
+        "retransmissions",
+        "timeouts",
+        "fast_retransmits",
+        "start_time",
+        "finish_time",
+        "rtt_samples",
+    )
+
+    def __init__(self, flow_id: int):
+        self.flow_id = flow_id
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_received = 0
+        self.bytes_received = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.rtt_samples: list[float] = []
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Transfer duration (None until the flow finishes)."""
+        if self.start_time is None or self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def mean_rtt(self) -> float:
+        """Mean of the flow's RTT samples (NaN if none were taken)."""
+        if not self.rtt_samples:
+            return float("nan")
+        return float(np.mean(self.rtt_samples))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<FlowStats flow={self.flow_id} sent={self.packets_sent} "
+            f"recv={self.packets_received} retx={self.retransmissions}>"
+        )

@@ -1,0 +1,164 @@
+"""Trace persistence: save/load drop traces and loss-interval datasets.
+
+Measurement campaigns are expensive; analysis is cheap and iterative.
+These helpers archive a drop trace (or any loss-timestamp dataset) to a
+compressed ``.npz`` with its metadata, so the analysis side —
+:mod:`repro.core` — can be re-run offline without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.sim.trace import DropTrace
+
+__all__ = [
+    "save_drop_trace",
+    "load_drop_trace",
+    "LoadedDropTrace",
+    "export_ns2_drops",
+    "import_ns2_drops",
+]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class LoadedDropTrace:
+    """A drop trace re-hydrated from disk (read-only array view)."""
+
+    times: np.ndarray
+    flow_ids: np.ndarray
+    seqs: np.ndarray
+    sizes: np.ndarray
+    marked: np.ndarray
+    rtt: float  # normalization constant recorded at save time (0 = unset)
+    name: str
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def drop_times(self) -> np.ndarray:
+        """Timestamps of true drops only (ECN marks excluded)."""
+        return self.times[~self.marked]
+
+    def intervals_rtt(self) -> np.ndarray:
+        """RTT-normalized inter-loss intervals (requires a recorded RTT)."""
+        if self.rtt <= 0:
+            raise ValueError("trace was saved without an RTT; pass one explicitly")
+        from repro.core.intervals import intervals_from_trace
+
+        return intervals_from_trace(self.drop_times(), self.rtt)
+
+
+def save_drop_trace(
+    trace: DropTrace, path: Union[str, Path], rtt: float = 0.0
+) -> Path:
+    """Archive ``trace`` to ``path`` (``.npz`` appended if missing).
+
+    ``rtt`` records the scenario's normalization constant alongside the
+    data so later analysis cannot mix up units.
+    """
+    if rtt < 0:
+        raise ValueError(f"rtt must be non-negative, got {rtt}")
+    p = Path(path)
+    if p.suffix != ".npz":
+        p = p.with_suffix(p.suffix + ".npz")
+    p.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        p,
+        version=np.int64(_FORMAT_VERSION),
+        times=trace.times,
+        flow_ids=trace.flow_ids,
+        seqs=trace.seqs,
+        sizes=trace.sizes,
+        marked=trace.marked,
+        rtt=np.float64(rtt),
+        name=np.str_(trace.name),
+    )
+    return p
+
+
+def load_drop_trace(path: Union[str, Path]) -> LoadedDropTrace:
+    """Re-hydrate a trace archived by :func:`save_drop_trace`."""
+    with np.load(Path(path), allow_pickle=False) as z:
+        version = int(z["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(this build reads {_FORMAT_VERSION})"
+            )
+        return LoadedDropTrace(
+            times=z["times"],
+            flow_ids=z["flow_ids"],
+            seqs=z["seqs"],
+            sizes=z["sizes"],
+            marked=z["marked"].astype(bool),
+            rtt=float(z["rtt"]),
+            name=str(z["name"]),
+        )
+
+
+def export_ns2_drops(trace: DropTrace, path: Union[str, Path]) -> Path:
+    """Write drops in NS-2 ASCII trace style.
+
+    One line per record::
+
+        d <time> 0 1 tcp <size> ---- <flow_id> 0.0 1.0 <seq> <uid>
+
+    (event, time, from-node, to-node, type, size, flags, flow id, src,
+    dst, seq, unique id — the classic ns trace columns).  Marked (ECN)
+    records are omitted: NS-2 logs them as separate mark events.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    times = trace.times
+    fids = trace.flow_ids
+    seqs = trace.seqs
+    sizes = trace.sizes
+    marked = trace.marked
+    with p.open("w") as fh:
+        uid = 0
+        for t, f, s, z, m in zip(times, fids, seqs, sizes, marked):
+            if m:
+                continue
+            fh.write(f"d {t:.6f} 0 1 tcp {z} ---- {f} 0.0 1.0 {s} {uid}\n")
+            uid += 1
+    return p
+
+
+def import_ns2_drops(path: Union[str, Path]) -> LoadedDropTrace:
+    """Parse an NS-2 ASCII trace's drop ('d') events into a trace view.
+
+    Only ``d`` lines are read; other event types ('+', '-', 'r') are
+    skipped, so a full ns trace file works as input.
+    """
+    times: list[float] = []
+    fids: list[int] = []
+    seqs: list[int] = []
+    sizes: list[int] = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            parts = line.split()
+            if not parts or parts[0] != "d":
+                continue
+            if len(parts) < 12:
+                raise ValueError(f"{path}:{lineno}: short ns-2 drop record")
+            times.append(float(parts[1]))
+            sizes.append(int(parts[5]))
+            fids.append(int(parts[7]))
+            seqs.append(int(parts[10]))
+    n = len(times)
+    return LoadedDropTrace(
+        times=np.asarray(times),
+        flow_ids=np.asarray(fids, dtype=np.int64),
+        seqs=np.asarray(seqs, dtype=np.int64),
+        sizes=np.asarray(sizes, dtype=np.int64),
+        marked=np.zeros(n, dtype=bool),
+        rtt=0.0,
+        name=str(Path(path).name),
+    )

@@ -1,0 +1,49 @@
+"""Transport protocols (NS-2 agent equivalents).
+
+Window-based senders — :class:`RenoSender`, :class:`NewRenoSender` — fill
+the congestion-window gap with back-to-back bursts; rate-based senders —
+:class:`PacedSender`, :class:`TfrcSender` — space packets evenly.  The
+contrast between those two sub-RTT emission patterns, interacting with the
+bursty loss process at a DropTail bottleneck, is the subject of the paper.
+
+Auxiliary sources: :class:`CbrSource` (measurement probes),
+:class:`OnOffSource` (background noise).
+"""
+
+from repro.tcp.base import ACK_SIZE, TcpSender
+from repro.tcp.bic import BicSender
+from repro.tcp.cbr import CbrSource
+from repro.tcp.fast import FastSender
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.onoff import OnOffSource, noise_fleet_params
+from repro.tcp.pacing import PacedSender
+from repro.tcp.reno import RenoSender
+from repro.tcp.sack import SackSender
+from repro.tcp.sink import ProbeSink, TcpSink, UdpSink
+from repro.tcp.tfrc import (
+    TfrcReceiver,
+    TfrcSender,
+    tfrc_throughput_eq,
+    wali_loss_event_rate,
+)
+
+__all__ = [
+    "ACK_SIZE",
+    "BicSender",
+    "CbrSource",
+    "FastSender",
+    "NewRenoSender",
+    "OnOffSource",
+    "PacedSender",
+    "ProbeSink",
+    "RenoSender",
+    "SackSender",
+    "TcpSender",
+    "TcpSink",
+    "TfrcReceiver",
+    "TfrcSender",
+    "UdpSink",
+    "noise_fleet_params",
+    "tfrc_throughput_eq",
+    "wali_loss_event_rate",
+]

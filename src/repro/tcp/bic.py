@@ -1,0 +1,100 @@
+"""BIC-TCP congestion control (Xu, Harfoush & Rhee, INFOCOM 2004).
+
+The Linux default of the paper's era (2.6.8–2.6.18) and a natural member
+of this study: BIC is *window-based* — its packets leave in the same
+sub-RTT clumps as Reno/NewReno, so everything the paper says about
+window-based loss detection applies — but its growth law is a binary
+search toward the window where the last loss happened, making it far more
+aggressive than NewReno on large-BDP paths.
+
+Implemented per the original algorithm (packet units):
+
+* on loss: remember ``w_max``, reduce by ``beta``;
+* below ``w_max``: binary-search increase toward the midpoint, capped at
+  ``s_max`` per RTT and floored at ``b_min``... then linear ramp when the
+  midpoint is far (additive increase of ``s_max``);
+* above ``w_max``: slow-start-like max probing.
+
+Loss recovery machinery (fast retransmit, partial ACKs, RTO) is inherited
+from NewReno — BIC only replaces the growth/decrease laws.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.newreno import NewRenoSender
+
+__all__ = ["BicSender"]
+
+
+class BicSender(NewRenoSender):
+    """Window-based BIC-TCP sender.
+
+    Parameters (beyond :class:`repro.tcp.base.TcpSender`'s):
+
+    s_max:
+        Maximum window increment per RTT (packets).
+    b_min:
+        Minimum increment before switching to max probing.
+    beta:
+        Multiplicative decrease factor on loss (BIC default 0.8,
+        gentler than Reno's 0.5).
+    low_window:
+        Below this window BIC behaves like NewReno (TCP friendliness).
+    """
+
+    variant = "bic"
+
+    def __init__(
+        self,
+        *args,
+        s_max: float = 32.0,
+        b_min: float = 0.01,
+        beta: float = 0.8,
+        low_window: float = 14.0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if s_max <= 0 or b_min <= 0:
+            raise ValueError(f"s_max and b_min must be positive")
+        if not (0.0 < beta < 1.0):
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        self.s_max = float(s_max)
+        self.b_min = float(b_min)
+        self.beta = float(beta)
+        self.low_window = float(low_window)
+        self.w_max: float = 0.0  # window where the last loss happened
+
+    # -- growth law ------------------------------------------------------
+    def _bic_increment(self) -> float:
+        """Per-ACK window increment (the per-RTT increment over cwnd)."""
+        w = self.cwnd
+        if w < self.low_window or self.w_max <= 0:
+            return 1.0 / w  # NewReno-equivalent regime
+        if w < self.w_max:
+            # Binary search toward the midpoint.
+            inc = (self.w_max - w) / 2.0
+        else:
+            # Max probing beyond the old maximum: accelerate away.
+            inc = w - self.w_max + 1.0
+        inc = min(max(inc, self.b_min), self.s_max)
+        return inc / w
+
+    def slow_start_or_avoidance_increase(self, newly_acked: int) -> None:
+        """BIC growth law: binary search / max probing per ACK."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + newly_acked, max(self.ssthresh, self.cwnd))
+        else:
+            self.cwnd += newly_acked * self._bic_increment()
+        self.cwnd = min(self.cwnd, self.max_cwnd)
+
+    # -- decrease law ------------------------------------------------------
+    def halve_window(self) -> None:
+        """BIC decrease law: remember w_max, reduce by beta."""
+        w = max(self.inflight, 2.0)
+        if w < self.w_max:
+            # Fast convergence: a second loss below the old max means a new
+            # flow wants room; release more.
+            self.w_max = w * (1.0 + self.beta) / 2.0
+        else:
+            self.w_max = w
+        self.ssthresh = max(w * self.beta, 2.0)

@@ -1,0 +1,125 @@
+"""Constant-bit-rate (CBR) datagram source.
+
+This is the paper's measurement instrument: §2 argues that probing with CBR
+traffic — unlike reconstructing losses from TCP traces (Paxson) — does not
+confound the loss process's burstiness with TCP's own sub-RTT burstiness,
+because CBR packets enter the network perfectly evenly spaced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.node import Host
+from repro.sim.packet import PROBE, Packet
+
+__all__ = ["CbrSource"]
+
+
+class CbrSource:
+    """Sends fixed-size datagrams at a constant rate.
+
+    Parameters
+    ----------
+    rate_bps:
+        Target bit rate; the inter-packet interval is
+        ``packet_size * 8 / rate_bps``.
+    packet_size:
+        Datagram size in bytes (the paper probes with 48 B and 400 B).
+    duration:
+        Seconds of probing after ``start`` (the paper's runs last 5 min).
+    jitter:
+        Optional uniform fraction of the interval (+/- jitter/2) added to
+        each send time, to model OS scheduling noise; 0 = ideal CBR.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        dst: int,
+        rate_bps: float,
+        packet_size: int = 400,
+        duration: Optional[float] = None,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        kind: str = PROBE,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if packet_size <= 0:
+            raise ValueError(f"packet size must be positive, got {packet_size}")
+        if not (0.0 <= jitter < 1.0):
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.dst = dst
+        self.packet_size = int(packet_size)
+        self.interval = packet_size * 8.0 / rate_bps
+        self.duration = duration
+        self.jitter = float(jitter)
+        self.rng = rng
+        self.kind = kind
+        self.next_seq = 0
+        self.send_times: list[float] = []
+        self._stop_at: Optional[float] = None
+        self._timer: Optional[Event] = None
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin operating at absolute simulation time ``at``."""
+        if self.duration is not None:
+            self._stop_at = at + self.duration
+        self._timer = self.sim.schedule_at(at, self._tick)
+
+    def stop(self) -> None:
+        """Stop operating and cancel any pending timers."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        if self._stop_at is not None and now >= self._stop_at:
+            self._timer = None
+            return
+        pkt = Packet(
+            self.flow_id,
+            self.next_seq,
+            self.packet_size,
+            kind=self.kind,
+            src=self.host.node_id,
+            dst=self.dst,
+            created=now,
+        )
+        self.send_times.append(now)
+        self.next_seq += 1
+        self.host.send(pkt)
+
+        gap = self.interval
+        if self.jitter > 0.0 and self.rng is not None:
+            gap *= 1.0 + self.jitter * (self.rng.random() - 0.5)
+        self._timer = self.sim.schedule(gap, self._tick)
+
+    # -- analysis helpers --------------------------------------------------
+    def send_times_array(self) -> np.ndarray:
+        """Probe send timestamps as a float64 array."""
+        return np.asarray(self.send_times, dtype=np.float64)
+
+    def lost_times(self, received_seqs: set[int]) -> np.ndarray:
+        """Send timestamps of probes missing from ``received_seqs``.
+
+        Because the CBR schedule is deterministic, the send time of a lost
+        probe locates the loss on the timeline to within one inter-packet
+        gap — the reconstruction step of the paper's PlanetLab methodology.
+        """
+        t = self.send_times_array()
+        mask = np.ones(len(t), dtype=bool)
+        for s in received_seqs:
+            if 0 <= s < len(t):
+                mask[s] = False
+        return t[mask]

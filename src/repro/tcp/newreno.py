@@ -1,0 +1,75 @@
+"""TCP NewReno congestion control (RFC 2582, Floyd & Henderson).
+
+NewReno fixes Reno's stall under burst losses: a *partial* ACK during fast
+recovery (one that advances the cumulative point but not past ``recover``,
+the highest sequence outstanding when recovery began) immediately
+retransmits the next hole and keeps the sender in recovery, so a burst of
+``k`` drops costs roughly ``k`` RTTs instead of a timeout.
+
+This is the paper's canonical window-based protocol: its sub-RTT
+transmission pattern is bursty (packets fill the ``w(t) - pif(t)`` gap
+back-to-back), which under bursty packet loss lets it *underestimate* the
+loss rate relative to rate-based flows — the asymmetry behind Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import TcpSender
+
+__all__ = ["NewRenoSender"]
+
+
+class NewRenoSender(TcpSender):
+    """Window-based TCP NewReno sender."""
+
+    variant = "newreno"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # Highest sequence sent when the current recovery episode began.
+        self.recover = -1
+
+    # -- new ACK -----------------------------------------------------------
+    def on_new_ack(self, ack: int, newly_acked: int) -> None:
+        """Variant window law for a cumulative ACK advancing the left edge."""
+        if self.in_fast_recovery:
+            if ack > self.recover:
+                # Full ACK: recovery complete; deflate.
+                self.in_fast_recovery = False
+                self.cwnd = self.ssthresh
+                self.dupacks = 0
+            else:
+                # Partial ACK: retransmit the next hole, deflate by the
+                # amount acked (plus one for the retransmission), stay in
+                # fast recovery, and do NOT reset dupacks.
+                self.retransmit_head()
+                self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + 1.0)
+            return
+        self.dupacks = 0
+        self.slow_start_or_avoidance_increase(newly_acked)
+
+    # -- duplicate ACK -------------------------------------------------------
+    def on_dup_ack(self, ack: int, count: int) -> None:
+        """Variant reaction to the count-th duplicate ACK."""
+        if self.in_fast_recovery:
+            self.cwnd += 1.0
+            return
+        if count == 3:
+            if ack <= self.recover:
+                # RFC 2582 "careful" variant: avoid multiple window
+                # reductions for the same flight after a timeout.
+                return
+            self.stats.fast_retransmits += 1
+            self.recover = self.next_seq
+            self.halve_window()
+            self.retransmit_head()
+            self.cwnd = self.ssthresh + 3.0
+            self.in_fast_recovery = True
+
+    # -- timeout --------------------------------------------------------------
+    def on_timeout(self) -> None:
+        """Variant recovery after a retransmission timeout."""
+        self.halve_window()
+        self.cwnd = 1.0
+        self.recover = self.next_seq
+        self.go_back_n()

@@ -1,0 +1,57 @@
+"""TCP Reno congestion control (RFC 2581 / Allman, Paxson & Stevens).
+
+Slow start, congestion avoidance, fast retransmit on the third duplicate
+ACK, and Reno-style fast recovery: the window is inflated by one packet per
+further duplicate ACK and fully deflated on the *first* new ACK — which is
+what makes Reno stall under the multi-packet loss bursts the paper
+measures (NewReno's partial-ACK handling, :mod:`repro.tcp.newreno`, is the
+fix and the paper's default window-based protocol).
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import TcpSender
+
+__all__ = ["RenoSender"]
+
+
+class RenoSender(TcpSender):
+    """Window-based TCP Reno sender."""
+
+    variant = "reno"
+
+    # -- new ACK ---------------------------------------------------------
+    def on_new_ack(self, ack: int, newly_acked: int) -> None:
+        """Variant window law for a cumulative ACK advancing the left edge."""
+        if self.in_fast_recovery:
+            # Reno: any new ACK terminates fast recovery and deflates the
+            # window to ssthresh, even if it only partially covers the
+            # outstanding data (remaining holes must wait for new dupacks
+            # or the RTO).
+            self.in_fast_recovery = False
+            self.cwnd = self.ssthresh
+            self.dupacks = 0
+            return
+        self.dupacks = 0
+        self.slow_start_or_avoidance_increase(newly_acked)
+
+    # -- duplicate ACK -----------------------------------------------------
+    def on_dup_ack(self, ack: int, count: int) -> None:
+        """Variant reaction to the count-th duplicate ACK."""
+        if self.in_fast_recovery:
+            # Window inflation: each further dupack signals a departure.
+            self.cwnd += 1.0
+            return
+        if count == 3:
+            self.stats.fast_retransmits += 1
+            self.halve_window()
+            self.retransmit_head()
+            self.cwnd = self.ssthresh + 3.0
+            self.in_fast_recovery = True
+
+    # -- timeout -----------------------------------------------------------
+    def on_timeout(self) -> None:
+        """Variant recovery after a retransmission timeout."""
+        self.halve_window()
+        self.cwnd = 1.0
+        self.go_back_n()

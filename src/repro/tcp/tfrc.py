@@ -1,0 +1,345 @@
+"""TFRC — TCP-Friendly Rate Control (RFC 3448, Floyd/Handley/Padhye/Widmer).
+
+TFRC is the paper's canonical *rate-based* protocol for unreliable
+transport: the receiver measures the **loss event rate** ``p`` with the
+weighted average of the last eight loss intervals (WALI) and feeds it back
+once per RTT; the sender sets its rate from the TCP throughput equation
+
+    X = s / ( R*sqrt(2p/3) + t_RTO * 3*sqrt(3p/8) * p * (1 + 32 p^2) )
+
+with ``t_RTO = 4R``.  Packets leave evenly spaced at rate ``X`` — the
+smooth sub-RTT pattern that, per the paper's §4.1, makes TFRC flows see
+nearly every bursty loss event and thus lose throughput to window-based
+TCP sharing the bottleneck.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.node import Host
+from repro.sim.packet import ACK, DATA, Packet
+from repro.sim.trace import FlowStats, ThroughputTrace
+
+__all__ = ["TfrcSender", "TfrcReceiver", "tfrc_throughput_eq", "wali_loss_event_rate"]
+
+#: RFC 3448 §5.4 weights, most recent closed interval first.
+WALI_WEIGHTS = (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+#: Maximum back-off interval (seconds): the rate floor is one packet per t_mbi.
+T_MBI = 64.0
+
+
+def tfrc_throughput_eq(s: int, rtt: float, p: float, t_rto: Optional[float] = None) -> float:
+    """TCP throughput equation: allowed rate in bytes/second.
+
+    ``s`` packet size (bytes), ``rtt`` round-trip time (seconds), ``p`` loss
+    event rate in (0, 1].  ``t_rto`` defaults to ``4 * rtt``.
+    """
+    if p <= 0:
+        raise ValueError(f"p must be positive, got {p}")
+    if rtt <= 0:
+        raise ValueError(f"rtt must be positive, got {rtt}")
+    p = min(p, 1.0)
+    if t_rto is None:
+        t_rto = 4.0 * rtt
+    denom = rtt * math.sqrt(2.0 * p / 3.0) + t_rto * (
+        3.0 * math.sqrt(3.0 * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    return s / denom
+
+
+def wali_loss_event_rate(
+    closed_intervals: list[int],
+    open_interval: int,
+    history_discount: bool = False,
+) -> float:
+    """Loss event rate from the weighted average loss interval (RFC 3448 §5.4).
+
+    ``closed_intervals`` holds the most recent closed interval first (packet
+    counts between loss-event starts); ``open_interval`` is the number of
+    packets received since the most recent loss event.  Returns 0.0 when no
+    loss has ever been seen.
+
+    With ``history_discount`` (RFC 3448 §5.5): when the open interval grows
+    beyond twice the historical average, older intervals are discounted
+    (factor floored at 0.5) so the rate estimate responds faster to a long
+    loss-free run.
+    """
+    if not closed_intervals:
+        return 0.0
+    n = min(len(closed_intervals), len(WALI_WEIGHTS))
+    w = list(WALI_WEIGHTS[:n])
+    w_tot = sum(w)
+    # History-only average ...
+    i_hist = sum(wi * ii for wi, ii in zip(w, closed_intervals[:n])) / w_tot
+    if history_discount and open_interval > 2.0 * i_hist and i_hist > 0:
+        # RFC 3448 §5.5: DF = max(0.5, 2*I_mean / I_0) applied to history.
+        df = max(0.5, 2.0 * i_hist / open_interval)
+        w = [wi * df for wi in w]
+    # ... vs. average shifted to include the open interval: take the max so
+    # a long loss-free run lowers p, but a short one cannot raise it.
+    if n > 1:
+        shifted_w = [WALI_WEIGHTS[0]] + w[: n - 1]
+        shifted_i = [open_interval] + list(closed_intervals[: n - 1])
+    else:
+        shifted_w = [WALI_WEIGHTS[0]]
+        shifted_i = [open_interval]
+    i_open = sum(wi * ii for wi, ii in zip(shifted_w, shifted_i)) / sum(shifted_w)
+    i_mean = max(i_hist, i_open)
+    if i_mean <= 0:
+        return 1.0
+    return min(1.0, 1.0 / i_mean)
+
+
+class TfrcReceiver:
+    """TFRC receiver: loss-event detection, WALI, once-per-RTT feedback.
+
+    Loss detection exploits FIFO delivery: a jump in the arriving sequence
+    number implies the skipped packets were lost.  Each lost packet's time
+    is interpolated between the arrivals around the hole; losses within one
+    RTT of a loss event's start coalesce into that event (the definition at
+    the center of the paper's burstiness argument).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        src: int,
+        throughput: Optional[ThroughputTrace] = None,
+    ):
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.src = src
+        self.throughput = throughput
+        self.stats = FlowStats(flow_id)
+
+        self.next_expected = 0
+        self._last_arrival: tuple[int, float] = (-1, 0.0)  # (seq, time)
+        self.closed_intervals: list[int] = []  # most recent first
+        self._event_start_time: Optional[float] = None
+        self._event_start_seq = 0
+        self.loss_events = 0
+        self.packets_lost = 0
+
+        self._rtt_hint = 0.1  # sender's RTT estimate carried in data meta
+        self._last_data_created = 0.0
+        self._fb_bytes = 0
+        self._fb_last_time: Optional[float] = None
+        self._fb_timer: Optional[Event] = None
+        host.attach(flow_id, self)
+
+    # -- data path ---------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        """Agent/node entry point: process an incoming packet."""
+        if pkt.kind != DATA:
+            return
+        now = self.sim.now
+        if isinstance(pkt.meta, (int, float)) and pkt.meta > 0:
+            self._rtt_hint = float(pkt.meta)
+        self._last_data_created = pkt.created
+        self.stats.packets_received += 1
+        self.stats.bytes_received += pkt.size
+        self._fb_bytes += pkt.size
+        if self.throughput is not None:
+            self.throughput.record(self.flow_id, pkt.size, now)
+
+        seq = pkt.seq
+        if seq > self.next_expected:
+            self._register_losses(self.next_expected, seq, now)
+        if seq >= self.next_expected:
+            self.next_expected = seq + 1
+        self._last_arrival = (seq, now)
+
+        if self._fb_timer is None:
+            self._schedule_feedback()
+
+    def _register_losses(self, first_lost: int, next_received: int, now: float) -> None:
+        prev_seq, prev_time = self._last_arrival
+        span = max(1, next_received - prev_seq)
+        for lost in range(first_lost, next_received):
+            frac = (lost - prev_seq) / span
+            t_loss = prev_time + frac * (now - prev_time)
+            self.packets_lost += 1
+            if (
+                self._event_start_time is None
+                or t_loss > self._event_start_time + self._rtt_hint
+            ):
+                # New loss event: close the running interval.
+                if self._event_start_time is not None:
+                    interval = max(1, lost - self._event_start_seq)
+                    self.closed_intervals.insert(0, interval)
+                    del self.closed_intervals[len(WALI_WEIGHTS):]
+                self._event_start_time = t_loss
+                self._event_start_seq = lost
+                self.loss_events += 1
+
+    # -- feedback -------------------------------------------------------------
+    def loss_event_rate(self) -> float:
+        """Current WALI loss event rate estimate."""
+        open_interval = max(0, self.next_expected - self._event_start_seq)
+        return wali_loss_event_rate(self.closed_intervals, open_interval)
+
+    def _schedule_feedback(self) -> None:
+        self._fb_timer = self.sim.schedule(self._rtt_hint, self._send_feedback)
+
+    def _send_feedback(self) -> None:
+        self._fb_timer = None
+        now = self.sim.now
+        elapsed = (
+            now - self._fb_last_time if self._fb_last_time is not None else self._rtt_hint
+        )
+        x_recv = self._fb_bytes / max(elapsed, 1e-9)
+        self._fb_bytes = 0
+        self._fb_last_time = now
+        fb = Packet(
+            self.flow_id,
+            self.next_expected,
+            40,
+            kind=ACK,
+            src=self.host.node_id,
+            dst=self.src,
+            created=now,
+            meta=(self.loss_event_rate(), x_recv, self._last_data_created),
+        )
+        self.host.send(fb)
+        self._schedule_feedback()
+
+
+class TfrcSender:
+    """TFRC sender: equation-based rate control with paced emission."""
+
+    variant = "tfrc"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow_id: int,
+        dst: int,
+        packet_size: int = 1000,
+        base_rtt: float = 0.1,
+        total_packets: Optional[int] = None,
+    ):
+        if base_rtt <= 0:
+            raise ValueError(f"base_rtt must be positive, got {base_rtt}")
+        self.sim = sim
+        self.host = host
+        self.flow_id = flow_id
+        self.dst = dst
+        self.packet_size = int(packet_size)
+        self.base_rtt = float(base_rtt)
+        self.total_packets = total_packets
+        self.stats = FlowStats(flow_id)
+
+        self.srtt: Optional[float] = None
+        self.p = 0.0
+        self.x_recv = 0.0
+        # Initial rate: two packets per RTT (RFC 3448 §4.2 spirit).
+        self.rate_bps = 2.0 * packet_size * 8.0 / base_rtt
+        self.next_seq = 0
+        self._timer: Optional[Event] = None
+        self._nofb_timer: Optional[Event] = None
+        self._got_feedback_since = False
+        self.started = False
+        self.finished = False
+        host.attach(flow_id, self)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, at: float = 0.0) -> None:
+        """Begin operating at absolute simulation time ``at``."""
+        self.sim.schedule_at(at, self._start_now)
+
+    def _start_now(self) -> None:
+        if self.started:
+            return
+        self.started = True
+        self.stats.start_time = self.sim.now
+        self._send_tick()
+        self._arm_nofeedback()
+
+    def stop(self) -> None:
+        """Stop operating and cancel any pending timers."""
+        self.finished = True
+        for t in (self._timer, self._nofb_timer):
+            if t is not None:
+                t.cancel()
+        self._timer = self._nofb_timer = None
+
+    # -- emission -------------------------------------------------------------
+    def rtt_estimate(self) -> float:
+        """Current RTT estimate (sRTT or the base-RTT fallback)."""
+        return self.srtt if self.srtt is not None else self.base_rtt
+
+    def _send_tick(self) -> None:
+        self._timer = None
+        if self.finished:
+            return
+        if self.total_packets is not None and self.next_seq >= self.total_packets:
+            self.finished = True
+            self.stats.finish_time = self.sim.now
+            return
+        pkt = Packet(
+            self.flow_id,
+            self.next_seq,
+            self.packet_size,
+            kind=DATA,
+            src=self.host.node_id,
+            dst=self.dst,
+            created=self.sim.now,
+            meta=self.rtt_estimate(),
+        )
+        self.next_seq += 1
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += pkt.size
+        self.host.send(pkt)
+        interval = self.packet_size * 8.0 / self.rate_bps
+        self._timer = self.sim.schedule(interval, self._send_tick)
+
+    # -- feedback path ----------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        """Agent/node entry point: process an incoming packet."""
+        if pkt.kind != ACK or pkt.meta is None or self.finished:
+            return
+        p, x_recv, echo_ts = pkt.meta
+        now = self.sim.now
+        if echo_ts > 0:
+            rtt = now - echo_ts
+            self.srtt = rtt if self.srtt is None else 0.875 * self.srtt + 0.125 * rtt
+        self.p = float(p)
+        self.x_recv = float(x_recv)
+        self._got_feedback_since = True
+        self._update_rate()
+
+    def _update_rate(self) -> None:
+        s, r = self.packet_size, self.rtt_estimate()
+        floor = s * 8.0 / T_MBI
+        if self.p > 0.0:
+            x_eq = tfrc_throughput_eq(s, r, self.p) * 8.0  # -> bits/sec
+            cap = max(2.0 * self.x_recv * 8.0, floor)
+            self.rate_bps = max(min(x_eq, cap), floor)
+        else:
+            # No loss yet: double per feedback, bounded by twice the
+            # delivered rate (slow-start analogue).
+            cap = max(2.0 * self.x_recv * 8.0, 2.0 * s * 8.0 / r)
+            self.rate_bps = max(min(2.0 * self.rate_bps, cap), floor)
+
+    # -- no-feedback timer ---------------------------------------------------
+    def _arm_nofeedback(self) -> None:
+        interval = max(4.0 * self.rtt_estimate(), 2.0 * self.packet_size * 8.0 / self.rate_bps)
+        self._nofb_timer = self.sim.schedule(interval, self._nofeedback_fired)
+
+    def _nofeedback_fired(self) -> None:
+        self._nofb_timer = None
+        if self.finished:
+            return
+        if not self._got_feedback_since:
+            floor = self.packet_size * 8.0 / T_MBI
+            self.rate_bps = max(self.rate_bps / 2.0, floor)
+        self._got_feedback_since = False
+        self._arm_nofeedback()

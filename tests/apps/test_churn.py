@@ -1,0 +1,69 @@
+"""Tests for the short-flow churn workload."""
+
+import pytest
+
+from repro.apps.churn import ChurnConfig, FlowChurn
+from repro.sim import DumbbellConfig, RngStreams, Simulator, build_dumbbell
+
+
+def make_churn(arrival_rate=20.0, mean_pkts=30.0, n_pairs=8, buffer_pkts=40):
+    sim = Simulator()
+    db = build_dumbbell(
+        sim, DumbbellConfig(bottleneck_rate_bps=10e6, buffer_pkts=buffer_pkts)
+    )
+    cfg = ChurnConfig(arrival_rate=arrival_rate, mean_flow_packets=mean_pkts)
+    churn = FlowChurn(sim, db, RngStreams(3), cfg, n_host_pairs=n_pairs)
+    return sim, db, churn
+
+
+class TestChurnConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_flow_packets=2.0, min_flow_packets=4)
+
+
+class TestFlowChurn:
+    def test_flows_arrive_at_configured_rate(self):
+        sim, _, churn = make_churn(arrival_rate=20.0)
+        churn.start()
+        sim.run(until=10.0)
+        assert churn.flows_started == pytest.approx(200, rel=0.3)
+
+    def test_flows_complete_and_detach(self):
+        sim, _, churn = make_churn(arrival_rate=5.0)
+        churn.start()
+        sim.run(until=20.0)
+        assert churn.flows_completed > 0.7 * churn.flows_started
+        # Detached flows free their host slots: attached agents bounded by
+        # in-flight flows, not total started.
+        attached = sum(len(p.left.agents) for p in churn.pairs)
+        assert attached < churn.flows_started
+
+    def test_overload_produces_drops(self):
+        sim, db, churn = make_churn(arrival_rate=60.0, mean_pkts=60.0,
+                                    buffer_pkts=15)
+        churn.start()
+        sim.run(until=10.0)
+        assert len(db.drop_trace) > 0
+
+    def test_stop_halts_arrivals(self):
+        sim, _, churn = make_churn()
+        churn.start()
+        sim.run(until=2.0)
+        churn.stop()
+        n = churn.flows_started
+        sim.run(until=4.0)
+        assert churn.flows_started == n
+
+    def test_pair_count_validated(self):
+        sim = Simulator()
+        db = build_dumbbell(sim)
+        with pytest.raises(ValueError):
+            FlowChurn(sim, db, RngStreams(0), n_host_pairs=0)
+
+    def test_flow_sizes_respect_minimum(self):
+        sim, _, churn = make_churn(mean_pkts=5.0)
+        sizes = [churn._draw_size() for _ in range(200)]
+        assert min(sizes) >= churn.config.min_flow_packets

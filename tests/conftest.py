@@ -1,0 +1,16 @@
+"""Global test configuration.
+
+Hypothesis: simulation-backed properties have highly variable runtimes
+(the first example may build a large scenario), so the per-example
+deadline is disabled repo-wide; example counts are set per-test where the
+default is too heavy.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,42 @@
+"""Tests for the conditional-loss-probability statistic (Borella, §2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GilbertModel, conditional_loss_probability
+
+
+class TestConditionalLoss:
+    def test_bernoulli_conditional_equals_unconditional(self):
+        rng = np.random.default_rng(0)
+        seq = (rng.random(200_000) < 0.05).astype(int)
+        cond, p = conditional_loss_probability(seq)
+        assert p == pytest.approx(0.05, rel=0.1)
+        assert cond == pytest.approx(p, abs=0.01)
+
+    def test_gilbert_conditional_much_larger(self):
+        m = GilbertModel(p=0.01, r=0.25)  # bursts of mean length 4
+        seq = m.sample(200_000, np.random.default_rng(1))
+        cond, p = conditional_loss_probability(seq)
+        # P(loss | prev lost) = 1 - r = 0.75 >> stationary p ~= 0.038
+        assert cond == pytest.approx(0.75, abs=0.05)
+        assert cond > 5 * p
+
+    def test_exact_small_case(self):
+        # sequence: L L D L D -> prev-lost positions: 0,1,3; next lost at
+        # position 1 only => cond = 1/3; p = 3/5.
+        cond, p = conditional_loss_probability(np.array([1, 1, 0, 1, 0]))
+        assert cond == pytest.approx(1 / 3)
+        assert p == pytest.approx(3 / 5)
+
+    def test_degenerate_inputs(self):
+        cond, p = conditional_loss_probability(np.array([]))
+        assert np.isnan(cond) and np.isnan(p)
+        cond, p = conditional_loss_probability(np.zeros(10))
+        assert np.isnan(cond) and p == 0.0
+        cond, p = conditional_loss_probability(np.array([1]))
+        assert np.isnan(cond) and p == 1.0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            conditional_loss_probability(np.zeros((2, 2)))

@@ -1,0 +1,116 @@
+"""Tests for the Gilbert–Elliott loss model."""
+
+import numpy as np
+import pytest
+
+from repro.core import GilbertModel, fit_gilbert, loss_run_lengths
+
+
+class TestModel:
+    def test_stationary_distribution(self):
+        m = GilbertModel(p=0.01, r=0.5)
+        assert m.stationary_bad == pytest.approx(0.01 / 0.51)
+        assert m.loss_rate == pytest.approx(m.stationary_bad)  # h_bad=1
+
+    def test_mean_burst_length(self):
+        assert GilbertModel(p=0.01, r=0.25).mean_burst_length == pytest.approx(4.0)
+        assert GilbertModel(p=0.01, r=0.0).mean_burst_length == np.inf
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertModel(p=1.5, r=0.5)
+        with pytest.raises(ValueError):
+            GilbertModel(p=0.5, r=-0.1)
+        with pytest.raises(ValueError):
+            GilbertModel(p=0.0, r=0.0)
+
+    def test_partial_loss_states(self):
+        m = GilbertModel(p=0.1, r=0.1, h_bad=0.5, h_good=0.01)
+        assert m.loss_rate == pytest.approx(0.5 * 0.5 + 0.5 * 0.01)
+
+
+class TestSampling:
+    def test_sample_loss_rate_matches(self):
+        m = GilbertModel(p=0.02, r=0.4)
+        rng = np.random.default_rng(0)
+        seq = m.sample(200_000, rng)
+        assert seq.mean() == pytest.approx(m.loss_rate, rel=0.1)
+
+    def test_sample_burst_lengths_match(self):
+        m = GilbertModel(p=0.02, r=0.25)
+        rng = np.random.default_rng(1)
+        seq = m.sample(200_000, rng)
+        loss_runs, _ = loss_run_lengths(seq)
+        assert loss_runs.mean() == pytest.approx(4.0, rel=0.1)
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            GilbertModel(p=0.1, r=0.1).sample(0, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        m = GilbertModel(p=0.1, r=0.3)
+        a = m.sample(1000, np.random.default_rng(7))
+        b = m.sample(1000, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRunLengths:
+    def test_basic(self):
+        seq = np.array([1, 1, 0, 0, 0, 1, 0])
+        loss_runs, ok_runs = loss_run_lengths(seq)
+        np.testing.assert_array_equal(loss_runs, [2, 1])
+        np.testing.assert_array_equal(ok_runs, [3, 1])
+
+    def test_all_lost(self):
+        loss_runs, ok_runs = loss_run_lengths(np.ones(5))
+        np.testing.assert_array_equal(loss_runs, [5])
+        assert len(ok_runs) == 0
+
+    def test_empty(self):
+        loss_runs, ok_runs = loss_run_lengths(np.array([]))
+        assert len(loss_runs) == 0 and len(ok_runs) == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            loss_run_lengths(np.zeros((2, 2)))
+
+
+class TestFit:
+    def test_roundtrip_recovers_parameters(self):
+        m = GilbertModel(p=0.015, r=0.35)
+        rng = np.random.default_rng(2)
+        seq = m.sample(500_000, rng)
+        fit = fit_gilbert(seq)
+        assert fit.p == pytest.approx(m.p, rel=0.1)
+        assert fit.r == pytest.approx(m.r, rel=0.1)
+
+    def test_exact_transition_counts(self):
+        # delivered,lost,lost,delivered,delivered:
+        # from GOOD (3 samples at idx 0,3; wait: prev = seq[:-1])
+        seq = np.array([0, 1, 1, 0, 0])
+        fit = fit_gilbert(seq)
+        # prev states: [0,1,1,0]; transitions: 0->1 (1 of 2 from good),
+        # 1->1, 1->0 (1 of 2 from bad), 0->0
+        assert fit.p == pytest.approx(0.5)
+        assert fit.r == pytest.approx(0.5)
+
+    def test_no_losses(self):
+        fit = fit_gilbert(np.zeros(100))
+        assert fit.p == 0.0
+        assert fit.loss_rate == 0.0
+
+    def test_all_losses(self):
+        fit = fit_gilbert(np.ones(100))
+        assert fit.r == 0.0
+        assert fit.loss_rate == pytest.approx(1.0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            fit_gilbert(np.array([1]))
+
+    def test_bursty_fit_has_long_bursts(self):
+        # Alternating long loss runs: fitted mean burst length must be > 1.
+        seq = np.tile(np.concatenate((np.ones(5), np.zeros(95))), 100)
+        fit = fit_gilbert(seq)
+        assert fit.mean_burst_length == pytest.approx(5.0, rel=0.05)
+        assert fit.loss_rate == pytest.approx(0.05, rel=0.05)

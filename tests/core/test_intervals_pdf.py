@@ -1,0 +1,142 @@
+"""Tests for interval extraction and PDF binning."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    interval_pdf,
+    intervals_from_trace,
+    loss_intervals,
+    normalize_by_rtt,
+    poisson_reference_pdf,
+)
+
+
+class TestLossIntervals:
+    def test_diff_of_sorted_times(self):
+        t = np.array([0.0, 0.1, 0.3, 0.35])
+        np.testing.assert_allclose(loss_intervals(t), [0.1, 0.2, 0.05])
+
+    def test_zero_gaps_allowed(self):
+        t = np.array([1.0, 1.0, 1.0])
+        np.testing.assert_allclose(loss_intervals(t), [0.0, 0.0])
+
+    def test_short_traces(self):
+        assert loss_intervals(np.array([])).shape == (0,)
+        assert loss_intervals(np.array([1.0])).shape == (0,)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            loss_intervals(np.array([1.0, 0.5]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            loss_intervals(np.zeros((2, 2)))
+
+
+class TestNormalization:
+    def test_divides_by_rtt(self):
+        out = normalize_by_rtt(np.array([0.05, 0.1]), rtt=0.05)
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_invalid_rtt(self):
+        with pytest.raises(ValueError):
+            normalize_by_rtt(np.array([1.0]), rtt=0.0)
+
+    def test_pipeline(self):
+        t = np.array([0.0, 0.025, 0.1])
+        np.testing.assert_allclose(intervals_from_trace(t, 0.05), [0.5, 1.5])
+
+
+class TestIntervalPdf:
+    def test_density_integrates_to_in_range_mass(self):
+        rng = np.random.default_rng(0)
+        x = rng.exponential(0.3, size=5000)
+        pdf = interval_pdf(x)
+        in_range = np.mean(x < 2.0)
+        assert np.sum(pdf.mass) == pytest.approx(in_range, abs=1e-9)
+
+    def test_paper_resolution_default(self):
+        pdf = interval_pdf(np.array([0.5]))
+        assert pdf.bin_width == pytest.approx(0.02)
+        assert len(pdf.density) == 100
+        assert pdf.edges[-1] == pytest.approx(2.0)
+
+    def test_all_mass_in_first_bin_for_tiny_intervals(self):
+        pdf = interval_pdf(np.full(100, 0.001))
+        assert pdf.fraction_below(0.02) == pytest.approx(1.0)
+        assert pdf.density[0] == pytest.approx(1.0 / 0.02)
+
+    def test_fraction_below_snaps_to_bin_edges(self):
+        x = np.array([0.005, 0.015, 0.5])
+        pdf = interval_pdf(x)
+        # 0.01 snaps up to the first full bin edge 0.02
+        assert pdf.fraction_below(0.01) == pytest.approx(2 / 3)
+        assert pdf.fraction_below(1.0) == pytest.approx(1.0)
+
+    def test_sub_bin_threshold_uses_finer_binning(self):
+        # For the paper's "< 0.01 RTT" statistic use bin_size=0.01.
+        x = np.array([0.005, 0.015, 0.5])
+        pdf = interval_pdf(x, bin_size=0.01)
+        assert pdf.fraction_below(0.01) == pytest.approx(1 / 3)
+
+    def test_out_of_range_counts_in_n_and_mean(self):
+        x = np.array([0.1, 5.0])
+        pdf = interval_pdf(x)
+        assert pdf.n == 2
+        assert pdf.mean_interval == pytest.approx(2.55)
+        assert np.sum(pdf.mass) == pytest.approx(0.5)
+
+    def test_rate_per_rtt(self):
+        pdf = interval_pdf(np.array([0.5, 0.5, 0.5]))
+        assert pdf.rate_per_rtt() == pytest.approx(2.0)
+
+    def test_empty_input(self):
+        pdf = interval_pdf(np.array([]))
+        assert pdf.n == 0
+        assert np.isnan(pdf.fraction_below(0.01))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interval_pdf(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            interval_pdf(np.array([1.0]), bin_size=0.0)
+        with pytest.raises(ValueError):
+            interval_pdf(np.zeros((2, 2)))
+
+
+class TestPoissonReference:
+    def test_matches_exponential_density(self):
+        edges = np.linspace(0, 2, 101)
+        ref = poisson_reference_pdf(1.0, edges)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        expected = np.exp(-centers)  # rate=1
+        np.testing.assert_allclose(ref, expected, rtol=1e-3)
+
+    def test_straight_line_in_log_space(self):
+        edges = np.linspace(0, 2, 101)
+        ref = poisson_reference_pdf(2.5, edges)
+        logs = np.log(ref)
+        slopes = np.diff(logs)
+        np.testing.assert_allclose(slopes, slopes[0], rtol=1e-9)
+
+    def test_total_mass_below_one(self):
+        edges = np.linspace(0, 2, 101)
+        ref = poisson_reference_pdf(0.5, edges)
+        assert np.sum(ref) * 0.02 < 1.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            poisson_reference_pdf(0.0, np.linspace(0, 2, 11))
+
+    def test_exponential_sample_matches_own_reference(self):
+        """Self-consistency: exponential intervals' PDF tracks the Poisson
+        reference with the same rate (this is the paper's null model)."""
+        rng = np.random.default_rng(42)
+        rate = 1.5
+        x = rng.exponential(1 / rate, size=200_000)
+        pdf = interval_pdf(x)
+        ref = poisson_reference_pdf(pdf.rate_per_rtt(), pdf.edges)
+        # Compare where both have support.
+        sel = pdf.density > 0
+        np.testing.assert_allclose(pdf.density[sel], ref[sel], rtol=0.2)

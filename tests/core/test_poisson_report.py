@@ -1,0 +1,136 @@
+"""Tests for Poisson comparisons and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compare_to_poisson,
+    exponential_ks_test,
+    first_bin_excess,
+    format_pdf_series,
+    format_series,
+    format_table,
+    interval_pdf,
+    pdf_figure_text,
+    poisson_process,
+    poisson_reference_pdf,
+)
+
+
+class TestPoissonProcess:
+    def test_rate_matches(self):
+        rng = np.random.default_rng(0)
+        t = poisson_process(rate=5.0, horizon=1000.0, rng=rng)
+        assert len(t) == pytest.approx(5000, rel=0.05)
+
+    def test_sorted_within_horizon(self):
+        rng = np.random.default_rng(1)
+        t = poisson_process(2.0, 100.0, rng)
+        assert np.all(np.diff(t) >= 0)
+        assert t[0] >= 0 and t[-1] <= 100.0
+
+    def test_intervals_are_exponential(self):
+        rng = np.random.default_rng(2)
+        t = poisson_process(10.0, 5000.0, rng)
+        ks, pv = exponential_ks_test(np.diff(t))
+        assert pv > 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_process(0.0, 1.0, np.random.default_rng(0))
+
+
+class TestKsTest:
+    def test_accepts_exponential(self):
+        rng = np.random.default_rng(3)
+        x = rng.exponential(0.2, 5000)
+        _, pv = exponential_ks_test(x)
+        assert pv > 0.01
+
+    def test_rejects_clustered(self):
+        x = np.tile(np.concatenate((np.full(50, 1e-4), [5.0])), 40)
+        _, pv = exponential_ks_test(x)
+        assert pv < 1e-6
+
+    def test_needs_two_intervals(self):
+        with pytest.raises(ValueError):
+            exponential_ks_test(np.array([1.0]))
+
+
+class TestFirstBinExcess:
+    def test_exponential_near_one(self):
+        rng = np.random.default_rng(4)
+        x = rng.exponential(0.5, 100_000)
+        assert first_bin_excess(x) == pytest.approx(1.0, rel=0.1)
+
+    def test_bursty_much_greater(self):
+        x = np.tile(np.concatenate((np.full(50, 1e-3), [50.0])), 40)
+        assert first_bin_excess(x) > 10.0
+
+    def test_empty_nan(self):
+        assert np.isnan(first_bin_excess(np.array([])))
+
+
+class TestCompareToPoisson:
+    def test_bursty_trace_rejects(self):
+        x = np.tile(np.concatenate((np.full(50, 1e-4), [5.0])), 40)
+        cmp = compare_to_poisson(x)
+        assert cmp.rejects_poisson
+        assert cmp.first_bin_excess > 5
+        assert cmp.cv > 2
+
+    def test_poisson_trace_accepted(self):
+        rng = np.random.default_rng(5)
+        x = rng.exponential(0.3, 5000)
+        cmp = compare_to_poisson(x)
+        assert not cmp.rejects_poisson
+
+
+class TestReport:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", float("nan")]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "nan" in lines[4]
+
+    def test_format_table_number_styles(self):
+        out = format_table(["v"], [[0.000001], [123456.0], [0], [1.5]])
+        assert "e-06" in out and "e+05" in out
+
+    def test_format_series(self):
+        out = format_series(np.array([1.0, 2.0]), np.array([3.0, 4.0]),
+                            xlabel="t", ylabel="v")
+        assert "t" in out and "3" in out
+
+    def test_format_pdf_series_decimation(self):
+        c = np.linspace(0, 2, 100)
+        out = format_pdf_series(c, c, c, every=10)
+        assert len(out.splitlines()) == 11
+
+    def test_pdf_figure_text(self):
+        rng = np.random.default_rng(6)
+        pdf = interval_pdf(rng.exponential(0.5, 1000))
+        ref = poisson_reference_pdf(pdf.rate_per_rtt(), pdf.edges)
+        out = pdf_figure_text(pdf, ref, "Figure X")
+        assert out.startswith("Figure X")
+        assert "mass < 0.01 RTT" in out
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        from repro.core import write_csv
+
+        p = write_csv(tmp_path / "out" / "fig.csv",
+                      {"x": np.array([1.0, 2.0]), "y": np.array([3.0, 4.0])})
+        lines = p.read_text().strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1.0,3.0"
+        assert len(lines) == 3
+
+    def test_write_csv_validation(self, tmp_path):
+        from repro.core import write_csv
+
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "a.csv", {})
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "b.csv",
+                      {"x": np.array([1.0]), "y": np.array([1.0, 2.0])})

@@ -1,0 +1,184 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (
+    cluster_bursts,
+    cluster_loss_events,
+    event_sizes,
+    fit_gilbert,
+    fraction_within,
+    interval_pdf,
+    l_rate_based,
+    l_window_based,
+    loss_intervals,
+    loss_run_lengths,
+    poisson_reference_pdf,
+)
+from repro.core.gilbert import GilbertModel
+
+# -- strategies ---------------------------------------------------------------
+
+sorted_times = (
+    arrays(
+        np.float64,
+        st.integers(min_value=0, max_value=200),
+        elements=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    )
+    .map(np.sort)
+)
+
+intervals = arrays(
+    np.float64,
+    st.integers(min_value=0, max_value=300),
+    elements=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+
+loss_seqs = arrays(
+    np.int8, st.integers(min_value=2, max_value=500),
+    elements=st.integers(min_value=0, max_value=1),
+)
+
+
+# -- intervals ---------------------------------------------------------------
+
+
+@given(sorted_times)
+def test_intervals_nonnegative_and_count(times):
+    out = loss_intervals(times)
+    assert np.all(out >= 0)
+    assert len(out) == max(0, len(times) - 1)
+
+
+@given(sorted_times)
+def test_intervals_sum_equals_span(times):
+    out = loss_intervals(times)
+    if len(times) >= 2:
+        assert np.isclose(out.sum(), times[-1] - times[0])
+
+
+# -- PDF ------------------------------------------------------------------
+
+
+@given(intervals)
+def test_pdf_mass_at_most_one(x):
+    pdf = interval_pdf(x)
+    if pdf.n:
+        total = np.sum(pdf.mass)
+        assert total <= 1.0 + 1e-9
+        # In-range mass equals the exact empirical fraction (histogram's
+        # last bin is closed, hence <=).
+        assert np.isclose(total, np.mean(x <= pdf.edges[-1]) if len(x) else 0.0)
+
+
+@given(intervals)
+def test_pdf_fraction_below_monotone(x):
+    pdf = interval_pdf(x)
+    if pdf.n:
+        fracs = [pdf.fraction_below(v) for v in (0.02, 0.5, 1.0, 2.0)]
+        assert all(a <= b + 1e-12 for a, b in zip(fracs, fracs[1:]))
+
+
+@given(st.floats(min_value=1e-3, max_value=50.0))
+def test_poisson_reference_is_log_linear_and_positive(rate):
+    edges = np.linspace(0, 2, 101)
+    ref = poisson_reference_pdf(rate, edges)
+    assert np.all(ref > 0)
+    slopes = np.diff(np.log(ref))
+    assert np.allclose(slopes, slopes[0], rtol=1e-6, atol=1e-9)
+
+
+# -- burstiness --------------------------------------------------------------
+
+
+@given(intervals, st.floats(min_value=1e-6, max_value=10.0))
+def test_fraction_within_bounds(x, thr):
+    f = fraction_within(x, thr)
+    if len(x):
+        assert 0.0 <= f <= 1.0
+    else:
+        assert np.isnan(f)
+
+
+@given(sorted_times, st.floats(min_value=1e-6, max_value=1e3))
+def test_burst_clustering_partitions_losses(times, gap):
+    bursts = cluster_bursts(times, gap)
+    assert sum(b.count for b in bursts) == len(times)
+    # Bursts ordered, non-overlapping.
+    for a, b in zip(bursts, bursts[1:]):
+        assert b.start - a.end >= gap - 1e-12
+    for b in bursts:
+        assert b.end >= b.start
+
+
+@given(sorted_times, st.floats(min_value=1e-6, max_value=1e3))
+def test_event_clustering_partitions_and_bounds_span(times, rtt):
+    events = cluster_loss_events(times, rtt)
+    assert event_sizes(events).sum() == len(times)
+    for e in events:
+        assert e.duration <= rtt + 1e-9
+
+
+# -- Gilbert --------------------------------------------------------------
+
+
+@given(loss_seqs)
+def test_run_lengths_partition_sequence(seq):
+    loss_runs, ok_runs = loss_run_lengths(seq)
+    assert loss_runs.sum() + ok_runs.sum() == len(seq)
+    assert loss_runs.sum() == int(np.sum(seq))
+
+
+@given(loss_seqs)
+def test_gilbert_fit_always_valid(seq):
+    m = fit_gilbert(seq)
+    assert 0.0 <= m.p <= 1.0
+    assert 0.0 <= m.r <= 1.0
+    assert 0.0 <= m.loss_rate <= 1.0
+
+
+@given(
+    st.floats(min_value=0.001, max_value=0.999),
+    st.floats(min_value=0.001, max_value=0.999),
+)
+def test_gilbert_stationary_consistency(p, r):
+    m = GilbertModel(p=p, r=r)
+    pi_b = m.stationary_bad
+    assert 0.0 <= pi_b <= 1.0
+    # Detailed balance of the two-state chain: flow G->B == flow B->G.
+    assert np.isclose((1 - pi_b) * p, pi_b * r)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=0.5),
+    st.floats(min_value=0.05, max_value=0.9),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_gilbert_sample_rate_within_tolerance(p, r, seed):
+    m = GilbertModel(p=p, r=r)
+    seq = m.sample(20_000, np.random.default_rng(seed))
+    assert abs(float(seq.mean()) - m.loss_rate) < 0.08
+
+
+# -- detection equations ------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=1, max_value=1000),
+    st.floats(min_value=0.5, max_value=1000.0),
+)
+def test_rate_based_never_detects_less_than_window_based(m, n, k):
+    """The paper's central inequality L_rate >= L_win holds whenever the
+    drop burst fits the flow population (m <= n)."""
+    lr = l_rate_based(m, n)
+    lw = l_window_based(m, k)
+    if m <= n and k >= 1:
+        assert lr >= lw - 1e-12
+    assert lr <= min(m, n) + 1e-12
+    if m > 0:
+        assert lw >= 1.0

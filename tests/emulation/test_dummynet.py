@@ -1,0 +1,153 @@
+"""Tests for the Dummynet emulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.emulation import (
+    RTT_CLASSES,
+    DummynetConfig,
+    NoisyLink,
+    QuantizedClock,
+    QuantizedDropTrace,
+    build_dummynet_dumbbell,
+    quantize,
+)
+from repro.sim import DumbbellConfig, Simulator
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.tcp import NewRenoSender, TcpSink
+
+
+class TestQuantize:
+    def test_floors_to_resolution(self):
+        assert quantize(0.0123, 1e-3) == pytest.approx(0.012)
+        assert quantize(0.0129999, 1e-3) == pytest.approx(0.012)
+
+    def test_vectorized(self):
+        out = quantize(np.array([0.0011, 0.0019, 0.002]), 1e-3)
+        np.testing.assert_allclose(out, [0.001, 0.001, 0.002])
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ValueError):
+            quantize(1.0, 0.0)
+
+    def test_clock_reads_tick_boundary(self):
+        sim = Simulator()
+        clock = QuantizedClock(sim, resolution=1e-3)
+        sim.schedule(0.00271, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(0.00271)
+        assert clock.now == pytest.approx(0.002)
+
+    def test_clock_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedClock(Simulator(), resolution=0)
+
+
+class TestQuantizedDropTrace:
+    def test_timestamps_are_multiples_of_resolution(self):
+        tr = QuantizedDropTrace(resolution=1e-3)
+        pkt = Packet(1, 0, 100)
+        tr.record(pkt, 0.012345)
+        tr.record(pkt, 0.012999)
+        np.testing.assert_allclose(tr.times, [0.012, 0.012])
+
+    def test_identical_ticks_collapse(self):
+        """1 ms clocks collapse sub-ms loss spacing to zero intervals —
+        the emulation artifact visible in Figure 3's first bin."""
+        tr = QuantizedDropTrace(resolution=1e-3)
+        pkt = Packet(1, 0, 100)
+        for t in (0.0101, 0.0105, 0.0109):
+            tr.record(pkt, t)
+        assert np.all(np.diff(tr.times) == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedDropTrace(resolution=0.0)
+
+
+class TestNoisyLink:
+    def test_noise_widens_delivery_times(self):
+        sim = Simulator()
+        host = Host(sim)
+        got = []
+
+        class Sink:
+            def receive(self, pkt):
+                got.append(sim.now)
+
+        host.attach(1, Sink())
+        rng = np.random.default_rng(0)
+        link = NoisyLink(sim, host, 8e6, 0.0, rng=rng, max_noise=500e-6)
+        for i in range(100):
+            link.send(Packet(1, i, 1000))
+        sim.run()
+        gaps = np.diff(got)
+        assert gaps.min() >= 0.001  # serialization floor
+        assert gaps.max() <= 0.001 + 500e-6 + 1e-9
+        assert gaps.std() > 0
+
+    def test_zero_noise_equals_plain_link(self):
+        sim = Simulator()
+        host = Host(sim)
+        got = []
+
+        class Sink:
+            def receive(self, pkt):
+                got.append(sim.now)
+
+        host.attach(1, Sink())
+        link = NoisyLink(sim, host, 8e6, 0.0, rng=np.random.default_rng(0), max_noise=0.0)
+        for i in range(3):
+            link.send(Packet(1, i, 1000))
+        sim.run()
+        np.testing.assert_allclose(got, [0.001, 0.002, 0.003])
+
+    def test_invalid_noise(self):
+        sim = Simulator()
+        host = Host(sim)
+        with pytest.raises(ValueError):
+            NoisyLink(sim, host, 1e6, 0.0, rng=np.random.default_rng(0), max_noise=-1.0)
+
+
+class TestDummynetConfig:
+    def test_rtt_classes_default(self):
+        assert DummynetConfig().rtt_classes == RTT_CLASSES
+        assert RTT_CLASSES == (0.002, 0.010, 0.050, 0.200)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DummynetConfig(clock_resolution=0.0)
+        with pytest.raises(ValueError):
+            DummynetConfig(rtt_classes=())
+        with pytest.raises(ValueError):
+            DummynetConfig(rtt_classes=(0.0,))
+
+
+class TestBuildDummynet:
+    def test_transfer_runs_and_drops_are_quantized(self):
+        sim = Simulator()
+        cfg = DummynetConfig(
+            base=DumbbellConfig(bottleneck_rate_bps=10e6, buffer_pkts=20)
+        )
+        db = build_dummynet_dumbbell(sim, cfg, rng=np.random.default_rng(1))
+        pair = db.add_pair(rtt=0.050)
+        done = []
+        snd = NewRenoSender(sim, pair.left, 1, pair.right.node_id,
+                            total_packets=800, on_complete=done.append)
+        TcpSink(sim, pair.right, 1, pair.left.node_id)
+        snd.start()
+        sim.run(until=120.0)
+        assert done, "transfer did not complete through dummynet pipe"
+        assert len(db.drop_trace) > 0
+        # Every drop timestamp sits on a 1 ms tick.
+        t = db.drop_trace.times
+        np.testing.assert_allclose(t, np.round(t * 1000) / 1000, atol=1e-12)
+
+    def test_four_rtt_classes_attachable(self):
+        sim = Simulator()
+        db = build_dummynet_dumbbell(sim, rng=np.random.default_rng(2))
+        for i in range(8):
+            db.add_pair(rtt=RTT_CLASSES[i % 4])
+        rtts = sorted({p.rtt for p in db.pairs})
+        assert rtts == sorted(RTT_CLASSES)

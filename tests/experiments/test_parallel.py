@@ -1,0 +1,68 @@
+"""Tests for process-parallel experiment execution."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments.parallel import default_workers, parallel_map
+
+
+def square(x):
+    return x * x
+
+
+def boom(x):
+    raise RuntimeError(f"worker failure on {x}")
+
+
+class TestParallelMap:
+    def test_serial_fallback_matches(self):
+        items = list(range(20))
+        assert parallel_map(square, items, workers=1) == [x * x for x in items]
+        assert parallel_map(square, items, workers=None) == [x * x for x in items]
+
+    def test_parallel_preserves_order(self):
+        items = list(range(50))
+        out = parallel_map(square, items, workers=2)
+        assert out == [x * x for x in items]
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(square, [7], workers=8) == [49]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2, 3], workers=2)
+
+    def test_chunksize_validated(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1, 2, 3], workers=2, chunksize=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+TINY = Scale(
+    name="fast", capacity_bps=10e6, n_tcp_flows=4, n_noise_flows=2, noise_load=0.1,
+    measure_duration=5.0, fig7_capacity_bps=20e6, fig7_flows_per_class=2,
+    fig7_duration=5.0, fig8_capacity_bps=10e6, fig8_total_bytes=1 * 2**20,
+    fig8_flow_counts=(2,), fig8_rtts=(0.01, 0.05), fig8_repetitions=2,
+    campaign_experiments=10, campaign_probe_duration=10.0,
+)
+
+
+class TestParallelFig8:
+    def test_parallel_equals_serial(self):
+        """Determinism across execution modes: every repetition carries
+        its own seed, so process scheduling cannot change the numbers."""
+        from repro.experiments import run_fig8
+
+        serial = run_fig8(seed=3, scale=TINY, workers=1)
+        parallel = run_fig8(seed=3, scale=TINY, workers=2)
+        assert set(serial.cells) == set(parallel.cells)
+        for key in serial.cells:
+            np.testing.assert_allclose(
+                np.sort(serial.cells[key].samples),
+                np.sort(parallel.cells[key].samples),
+            )

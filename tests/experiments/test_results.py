@@ -1,0 +1,69 @@
+"""Unit tests for experiment result containers (no simulation needed)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.latency import LatencyStats
+from repro.experiments.fig7_competition import Fig7Result
+from repro.experiments.fig8_parallel import Fig8Result
+
+
+def stats(n, rtt, mean, std=0.1):
+    return LatencyStats(n_flows=n, rtt=rtt, mean=mean, std=std,
+                        min=mean - std, max=mean + std,
+                        samples=np.array([mean]))
+
+
+class TestFig8Result:
+    @pytest.fixture
+    def result(self):
+        cells = {
+            (2, 0.01): stats(2, 0.01, 1.2),
+            (4, 0.01): stats(4, 0.01, 1.3),
+            (2, 0.20): stats(2, 0.20, 9.0, std=5.0),
+            (4, 0.20): stats(4, 0.20, 7.0),
+        }
+        return Fig8Result(cells=cells, total_bytes=8 * 2**20,
+                          capacity_bps=20e6, bound_seconds=3.36)
+
+    def test_series_for_rtt_sorted_by_flow_count(self, result):
+        ns, means = result.series_for_rtt(0.01)
+        assert ns == [2, 4]
+        assert means == [1.2, 1.3]
+
+    def test_series_for_missing_rtt_empty(self, result):
+        ns, means = result.series_for_rtt(0.05)
+        assert ns == [] and means == []
+
+    def test_to_text_contains_all_cells(self, result):
+        txt = result.to_text()
+        assert "200ms" in txt and "10ms" in txt
+        assert "unpredictable" in txt
+        assert "yes" in txt  # the high-variance 200ms/2-flow cell
+
+
+class TestFig7Result:
+    def test_deficit_and_text(self):
+        t = np.array([0.25, 0.75])
+        r = Fig7Result(
+            times=t,
+            newreno_mbps=np.array([10.0, 12.0]),
+            pacing_mbps=np.array([8.0, 9.0]),
+            mean_newreno_mbps=11.0,
+            mean_pacing_mbps=8.5,
+            rtt=0.05,
+            capacity_bps=20e6,
+            duration=1.0,
+        )
+        assert r.pacing_deficit == pytest.approx((11 - 8.5) / 11)
+        txt = r.to_text()
+        assert "pacing deficit" in txt
+        assert "NewReno 11.00 Mbps" in txt
+
+    def test_zero_newreno_gives_nan(self):
+        r = Fig7Result(
+            times=np.array([]), newreno_mbps=np.array([]),
+            pacing_mbps=np.array([]), mean_newreno_mbps=0.0,
+            mean_pacing_mbps=0.0, rtt=0.05, capacity_bps=1e6, duration=1.0,
+        )
+        assert np.isnan(r.pacing_deficit)

@@ -1,0 +1,53 @@
+"""Tests for the delay-based vs loss-based comparison ([23])."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Scale
+from repro.extensions import jain_index, run_delay_based
+
+TINY = Scale(
+    name="fast", capacity_bps=10e6, n_tcp_flows=6, n_noise_flows=4, noise_load=0.1,
+    measure_duration=8.0, fig7_capacity_bps=20e6, fig7_flows_per_class=4,
+    fig7_duration=12.0, fig8_capacity_bps=10e6, fig8_total_bytes=2 * 2**20,
+    fig8_flow_counts=(2, 4), fig8_rtts=(0.01, 0.1), fig8_repetitions=2,
+    campaign_experiments=30, campaign_probe_duration=30.0,
+)
+
+
+class TestJainIndex:
+    def test_equal_rates(self):
+        assert jain_index(np.array([5.0, 5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_one_hog(self):
+        assert jain_index(np.array([10.0, 0.0, 0.0])) == pytest.approx(1 / 3)
+
+    def test_degenerate(self):
+        assert np.isnan(jain_index(np.array([])))
+        assert np.isnan(jain_index(np.zeros(3)))
+
+
+class TestDelayBased:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_delay_based(seed=1, scale=TINY, n_flows=4)
+
+    def test_delay_based_needs_no_losses(self, result):
+        assert result.delay_based.drops == 0
+        assert result.loss_based.drops > 0
+
+    def test_delay_based_is_fairer(self, result):
+        assert result.delay_based.jain > result.loss_based.jain
+        assert result.delay_based.jain > 0.9
+
+    def test_delay_based_is_more_stable(self, result):
+        assert result.delay_based.mean_window_cv < 0.1
+        assert result.delay_based.mean_window_cv < result.loss_based.mean_window_cv
+
+    def test_neither_wastes_the_link(self, result):
+        assert result.delay_based.utilization > 0.7
+        assert result.loss_based.utilization > 0.7
+
+    def test_text(self, result):
+        txt = result.to_text()
+        assert "delay (FAST)" in txt and "loss (NewReno)" in txt

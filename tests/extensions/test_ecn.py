@@ -1,0 +1,125 @@
+"""Tests for the persistent-ECN extension ([22]) and its fairness effect."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Scale
+from repro.extensions import PersistentEcnQueue, run_ecn_fairness
+from repro.sim import DumbbellConfig, Simulator, build_dumbbell
+from repro.sim.packet import Packet
+from repro.sim.queues import EnqueueResult
+from repro.tcp import NewRenoSender, TcpSink
+
+TINY = Scale(
+    name="fast", capacity_bps=10e6, n_tcp_flows=6, n_noise_flows=4, noise_load=0.1,
+    measure_duration=8.0, fig7_capacity_bps=20e6, fig7_flows_per_class=4,
+    fig7_duration=10.0, fig8_capacity_bps=10e6, fig8_total_bytes=2 * 2**20,
+    fig8_flow_counts=(2, 4), fig8_rtts=(0.01, 0.1), fig8_repetitions=2,
+    campaign_experiments=30, campaign_probe_duration=30.0,
+)
+
+
+def mkpkt(seq=0, ecn=True):
+    return Packet(1, seq, 1000, ecn_capable=ecn)
+
+
+class TestPersistentEcnQueue:
+    def test_no_marking_when_uncongested(self):
+        q = PersistentEcnQueue(100, signal_duration=0.05)
+        results = [q.push(mkpkt(i), 0.0) for i in range(10)]
+        assert all(r is EnqueueResult.ENQUEUED for r in results)
+        assert q.signals_raised == 0
+
+    def test_signal_raised_at_threshold_and_persists(self):
+        q = PersistentEcnQueue(10, signal_duration=0.05, onset_threshold=0.5)
+        for i in range(5):
+            q.push(mkpkt(i), 0.0)
+        assert q.signals_raised == 1
+        # Drain below threshold; marking window still open.
+        for _ in range(4):
+            q.pop(0.001)
+        r = q.push(mkpkt(99), 0.02)
+        assert r is EnqueueResult.MARKED
+
+    def test_marking_stops_after_duration(self):
+        q = PersistentEcnQueue(10, signal_duration=0.05, onset_threshold=0.5)
+        for i in range(5):
+            q.push(mkpkt(i), 0.0)
+        for _ in range(5):
+            q.pop(0.001)
+        assert q.push(mkpkt(99), 0.10) is EnqueueResult.ENQUEUED
+
+    def test_signal_not_retriggered_within_window(self):
+        q = PersistentEcnQueue(10, signal_duration=0.05, onset_threshold=0.3)
+        for i in range(9):
+            q.push(mkpkt(i), 0.0)
+        assert q.signals_raised == 1
+        # After the window, congestion re-raises.
+        q.push(mkpkt(100), 0.06)
+        assert q.signals_raised == 2
+
+    def test_overflow_still_drops(self):
+        q = PersistentEcnQueue(3, signal_duration=0.05)
+        for i in range(3):
+            q.push(mkpkt(i), 0.0)
+        assert q.push(mkpkt(9), 0.0) is EnqueueResult.DROPPED
+
+    def test_non_ecn_packets_not_marked(self):
+        q = PersistentEcnQueue(10, signal_duration=0.05, onset_threshold=0.3)
+        for i in range(5):
+            q.push(mkpkt(i), 0.0)
+        r = q.push(mkpkt(99, ecn=False), 0.01)
+        assert r is EnqueueResult.ENQUEUED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersistentEcnQueue(10, signal_duration=0.0)
+        with pytest.raises(ValueError):
+            PersistentEcnQueue(10, signal_duration=0.1, onset_threshold=0.0)
+
+
+class TestEcnSenderReaction:
+    def test_sender_halves_on_echo_once_per_window(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, DumbbellConfig(bottleneck_rate_bps=10e6,
+                                                buffer_pkts=50))
+        q = PersistentEcnQueue(50, signal_duration=0.02)
+        db.set_forward_queue(q)
+        pair = db.add_pair(rtt=0.02)
+        snd = NewRenoSender(sim, pair.left, 1, pair.right.node_id, ecn=True)
+        TcpSink(sim, pair.right, 1, pair.left.node_id)
+        snd.start()
+        sim.run(until=5.0)
+        assert q.marked > 0
+        # Windows were cut by ECN, not only by loss.
+        assert snd.cwnd < 1000
+
+    def test_ecn_reduces_drops(self):
+        def run(ecn):
+            sim = Simulator()
+            db = build_dumbbell(sim, DumbbellConfig(bottleneck_rate_bps=10e6,
+                                                    buffer_pkts=25))
+            if ecn:
+                db.set_forward_queue(PersistentEcnQueue(25, signal_duration=0.02))
+            pair = db.add_pair(rtt=0.02)
+            snd = NewRenoSender(sim, pair.left, 1, pair.right.node_id, ecn=ecn)
+            TcpSink(sim, pair.right, 1, pair.left.node_id)
+            snd.start()
+            sim.run(until=10.0)
+            return db.forward_queue.dropped
+
+        assert run(True) < run(False)
+
+
+class TestEcnFairness:
+    def test_persistent_signal_shrinks_pacing_deficit(self):
+        r = run_ecn_fairness(seed=1, scale=TINY)
+        assert r.droptail_deficit > 0.05
+        assert r.ecn_deficit < r.droptail_deficit
+        assert r.signals_raised > 0
+        assert "deficit" in r.to_text()
+
+    def test_ecn_keeps_utilization(self):
+        r = run_ecn_fairness(seed=1, scale=TINY)
+        total = r.ecn_newreno_mbps + r.ecn_pacing_mbps
+        assert total > 0.6 * TINY.fig7_capacity_bps / 1e6

@@ -1,0 +1,64 @@
+"""Tests for the RED tuning sweep."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import Scale
+from repro.extensions import RedSetting, red_default_grid, run_red_sweep, sweep_table
+
+TINY = Scale(
+    name="fast", capacity_bps=10e6, n_tcp_flows=6, n_noise_flows=4, noise_load=0.1,
+    measure_duration=8.0, fig7_capacity_bps=20e6, fig7_flows_per_class=4,
+    fig7_duration=10.0, fig8_capacity_bps=10e6, fig8_total_bytes=2 * 2**20,
+    fig8_flow_counts=(2, 4), fig8_rtts=(0.01, 0.1), fig8_repetitions=2,
+    campaign_experiments=30, campaign_probe_duration=30.0,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return run_red_sweep(seed=1, scale=TINY)
+
+
+class TestRedSweep:
+    def test_baseline_plus_grid(self, outcomes):
+        assert len(outcomes) == 1 + len(red_default_grid())
+        assert outcomes[0].setting is None
+        assert outcomes[0].label == "droptail"
+
+    def test_droptail_is_bursty(self, outcomes):
+        dt = outcomes[0]
+        assert dt.frac_001 > 0.5
+        assert dt.n_drops > 100
+
+    def test_classic_red_debursts(self, outcomes):
+        """Paper §5: RED removes the sub-RTT clustering."""
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["classic"].frac_001 < 0.6 * by_label["droptail"].frac_001
+
+    def test_timid_red_is_basically_droptail(self, outcomes):
+        """Thresholds near the buffer top never early-drop: parameter
+        tuning gone wrong, variant 1."""
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["timid"].frac_001 > 0.8 * by_label["droptail"].frac_001
+
+    def test_heavy_red_costs_utilization(self, outcomes):
+        """Overly aggressive dropping starves the link: parameter tuning
+        gone wrong, variant 2."""
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["heavy"].utilization < by_label["droptail"].utilization - 0.1
+
+    def test_classic_red_keeps_most_utilization(self, outcomes):
+        by_label = {o.label: o for o in outcomes}
+        assert by_label["classic"].utilization > 0.75
+
+    def test_table_renders(self, outcomes):
+        txt = sweep_table(outcomes)
+        assert "droptail" in txt and "classic" in txt
+
+
+class TestRedSetting:
+    def test_custom_grid(self):
+        custom = (RedSetting("x", 0.1, 0.3, 0.2),)
+        out = run_red_sweep(seed=1, scale=TINY, settings=custom)
+        assert [o.label for o in out] == ["droptail", "x"]

@@ -1,0 +1,105 @@
+"""Simulator validation against closed-form queueing theory.
+
+Drive the simulator's link+DropTail queue with Poisson arrivals and
+geometric (≈ exponential) packet sizes and check the measured loss rate,
+occupancy, and utilization against the M/M/1/K formulas.  This anchors the
+substrate the whole reproduction stands on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.queueing import (
+    mm1_utilization,
+    mm1k_blocking_probability,
+    mm1k_distribution,
+    mm1k_mean_occupancy,
+)
+from repro.sim import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.trace import DropTrace
+
+
+class TestFormulas:
+    def test_distribution_sums_to_one(self):
+        for rho in (0.3, 0.9, 1.0, 1.4):
+            p = mm1k_distribution(rho, 10)
+            assert np.isclose(p.sum(), 1.0)
+            assert np.all(p >= 0)
+
+    def test_blocking_increases_with_load(self):
+        blocks = [mm1k_blocking_probability(r, 8) for r in (0.5, 0.9, 1.2, 2.0)]
+        assert all(a < b for a, b in zip(blocks, blocks[1:]))
+
+    def test_blocking_decreases_with_buffer(self):
+        blocks = [mm1k_blocking_probability(0.9, k) for k in (2, 5, 10, 30)]
+        assert all(a > b for a, b in zip(blocks, blocks[1:]))
+
+    def test_rho_one_uniform(self):
+        p = mm1k_distribution(1.0, 4)
+        np.testing.assert_allclose(p, 0.2)
+
+    def test_occupancy_bounds(self):
+        assert 0 < mm1k_mean_occupancy(0.5, 10) < 10
+        assert mm1k_mean_occupancy(10.0, 10) > 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mm1k_distribution(0.0, 5)
+        with pytest.raises(ValueError):
+            mm1k_distribution(0.5, 0)
+
+
+class Sink:
+    def __init__(self):
+        self.count = 0
+
+    def receive(self, pkt, link=None):
+        self.count += 1
+
+
+def simulate_mm1k(rho: float, k: int, n_arrivals: int = 60_000, seed: int = 0):
+    """Poisson arrivals of geometric-size packets into a DropTail link."""
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    host = Host(sim)
+    sink = Sink()
+    host.attach(1, sink)
+    rate_bps = 8e6  # 1 byte = 1 us of service
+    mean_size = 1000.0  # mean service 1 ms
+    trace = DropTrace()
+    # K includes the packet in service: queue capacity K-1 + server.
+    link = Link(sim, host, rate_bps, 0.0, queue=DropTailQueue(max(1, k - 1)),
+                drop_trace=trace)
+    mean_gap = mean_size * 8 / rate_bps / rho
+    t = 0.0
+    for i in range(n_arrivals):
+        t += float(rng.exponential(mean_gap))
+        size = int(rng.geometric(1.0 / mean_size))
+        sim.schedule_at(t, link.send, Packet(1, i, size))
+    sim.run()
+    loss_rate = len(trace) / n_arrivals
+    return loss_rate, sink.count, link, t
+
+
+class TestSimulatorMatchesTheory:
+    @pytest.mark.parametrize("rho,k", [(0.8, 6), (1.2, 6), (0.95, 12)])
+    def test_loss_rate_matches_blocking_probability(self, rho, k):
+        loss, delivered, link, horizon = simulate_mm1k(rho, k)
+        expected = mm1k_blocking_probability(rho, k)
+        # Geometric sizes only approximate exponential service and the
+        # buffer boundary differs by the in-service slot: allow 25%.
+        assert loss == pytest.approx(expected, rel=0.25)
+
+    def test_utilization_matches_carried_load(self):
+        rho, k = 0.9, 8
+        loss, delivered, link, horizon = simulate_mm1k(rho, k)
+        measured_util = link.utilization(horizon)
+        assert measured_util == pytest.approx(mm1_utilization(rho, k), rel=0.1)
+
+    def test_overload_saturates_server(self):
+        _, _, link, horizon = simulate_mm1k(2.0, 6)
+        assert link.utilization(horizon) > 0.95

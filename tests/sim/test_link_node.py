@@ -1,0 +1,156 @@
+"""Unit tests for links, hosts, and routers."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Host, Router
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.trace import DropTrace
+
+
+class Collector:
+    """Test agent: records (time, packet) arrivals."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.got = []
+
+    def receive(self, pkt):
+        self.got.append((self.sim.now, pkt))
+
+
+def mkpkt(flow=1, seq=0, size=1000, src=-1, dst=-1):
+    return Packet(flow_id=flow, seq=seq, size=size, src=src, dst=dst)
+
+
+def test_single_packet_delay_is_tx_plus_propagation():
+    sim = Simulator()
+    host = Host(sim)
+    col = Collector(sim)
+    host.attach(1, col)
+    link = Link(sim, host, rate_bps=8e6, delay=0.010)  # 1000B -> 1ms tx
+    link.send(mkpkt(size=1000))
+    sim.run()
+    assert len(col.got) == 1
+    assert col.got[0][0] == pytest.approx(0.001 + 0.010)
+
+
+def test_back_to_back_packets_serialize_at_link_rate():
+    sim = Simulator()
+    host = Host(sim)
+    col = Collector(sim)
+    host.attach(1, col)
+    link = Link(sim, host, rate_bps=8e6, delay=0.0)
+    for i in range(3):
+        link.send(mkpkt(seq=i))
+    sim.run()
+    times = [t for t, _ in col.got]
+    assert times == pytest.approx([0.001, 0.002, 0.003])
+
+
+def test_full_queue_drops_and_traces():
+    sim = Simulator()
+    host = Host(sim)
+    host.attach(1, Collector(sim))
+    trace = DropTrace()
+    link = Link(
+        sim, host, rate_bps=8e6, delay=0.0,
+        queue=DropTailQueue(2), drop_trace=trace,
+    )
+    # 1 transmitting + 2 queued + 2 dropped
+    for i in range(5):
+        link.send(mkpkt(seq=i))
+    sim.run()
+    assert len(trace) == 2
+    assert list(trace.seqs) == [3, 4]
+    assert link.packets_forwarded == 3
+
+
+def test_link_utilization_and_byte_accounting():
+    sim = Simulator()
+    host = Host(sim)
+    host.attach(1, Collector(sim))
+    link = Link(sim, host, rate_bps=8e6, delay=0.0)
+    for i in range(4):
+        link.send(mkpkt(seq=i, size=1000))
+    sim.run(until=8.0)
+    assert link.bytes_forwarded == 4000
+    assert link.utilization(8.0) == pytest.approx(0.004 / 8.0)
+
+
+def test_invalid_link_parameters():
+    sim = Simulator()
+    host = Host(sim)
+    with pytest.raises(ValueError):
+        Link(sim, host, rate_bps=0, delay=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, host, rate_bps=1e6, delay=-1.0)
+
+
+def test_router_forwards_by_destination():
+    sim = Simulator()
+    router = Router(sim)
+    h1, h2 = Host(sim), Host(sim)
+    c1, c2 = Collector(sim), Collector(sim)
+    h1.attach(1, c1)
+    h2.attach(1, c2)
+    to_h1 = Link(sim, h1, 1e9, 0.001)
+    to_h2 = Link(sim, h2, 1e9, 0.001)
+    router.add_route(h1.node_id, to_h1)
+    router.add_route(h2.node_id, to_h2)
+
+    router.receive(mkpkt(dst=h2.node_id))
+    sim.run()
+    assert len(c1.got) == 0
+    assert len(c2.got) == 1
+    assert router.packets_forwarded == 1
+
+
+def test_router_counts_unroutable_packets():
+    sim = Simulator()
+    router = Router(sim)
+    router.receive(mkpkt(dst=99999))
+    assert router.no_route_drops == 1
+
+
+def test_host_demux_by_flow_id():
+    sim = Simulator()
+    host = Host(sim)
+    a, b = Collector(sim), Collector(sim)
+    host.attach(1, a)
+    host.attach(2, b)
+    host.receive(mkpkt(flow=2))
+    assert len(a.got) == 0 and len(b.got) == 1
+
+
+def test_host_counts_unclaimed_packets():
+    sim = Simulator()
+    host = Host(sim)
+    host.receive(mkpkt(flow=42))
+    assert host.unclaimed_packets == 1
+
+
+def test_duplicate_flow_attach_rejected():
+    sim = Simulator()
+    host = Host(sim)
+    host.attach(1, Collector(sim))
+    with pytest.raises(ValueError):
+        host.attach(1, Collector(sim))
+
+
+def test_host_send_without_uplink_raises():
+    sim = Simulator()
+    host = Host(sim)
+    with pytest.raises(RuntimeError):
+        host.send(mkpkt())
+
+
+def test_host_detach():
+    sim = Simulator()
+    host = Host(sim)
+    host.attach(1, Collector(sim))
+    host.detach(1)
+    host.receive(mkpkt(flow=1))
+    assert host.unclaimed_packets == 1

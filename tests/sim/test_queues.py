@@ -1,0 +1,203 @@
+"""Unit tests for DropTail and RED queue disciplines."""
+
+import numpy as np
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue, EnqueueResult, REDParams, REDQueue
+
+
+def mkpkt(seq=0, size=1000, flow=0, ecn=False):
+    return Packet(flow_id=flow, seq=seq, size=size, ecn_capable=ecn)
+
+
+class TestDropTail:
+    def test_accepts_until_capacity(self):
+        q = DropTailQueue(3)
+        results = [q.push(mkpkt(i), 0.0) for i in range(5)]
+        assert results == [EnqueueResult.ENQUEUED] * 3 + [EnqueueResult.DROPPED] * 2
+        assert len(q) == 3
+        assert q.dropped == 2
+
+    def test_fifo_order(self):
+        q = DropTailQueue(10)
+        for i in range(5):
+            q.push(mkpkt(i), 0.0)
+        out = [q.pop(0.0).seq for _ in range(5)]
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_pop_empty_returns_none(self):
+        q = DropTailQueue(2)
+        assert q.pop(0.0) is None
+
+    def test_byte_accounting(self):
+        q = DropTailQueue(10)
+        q.push(mkpkt(0, size=100), 0.0)
+        q.push(mkpkt(1, size=250), 0.0)
+        assert q.bytes == 350
+        q.pop(0.0)
+        assert q.bytes == 250
+
+    def test_conservation_counters(self):
+        q = DropTailQueue(2)
+        for i in range(6):
+            q.push(mkpkt(i), 0.0)
+        q.pop(0.0)
+        assert q.arrived == q.enqueued + q.dropped
+        assert q.enqueued == q.dequeued + len(q)
+
+    def test_space_freed_by_pop_is_reusable(self):
+        q = DropTailQueue(1)
+        assert q.push(mkpkt(0), 0.0) is EnqueueResult.ENQUEUED
+        assert q.push(mkpkt(1), 0.0) is EnqueueResult.DROPPED
+        q.pop(0.0)
+        assert q.push(mkpkt(2), 0.0) is EnqueueResult.ENQUEUED
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+        with pytest.raises(ValueError):
+            DropTailQueue(10, capacity_bytes=0)
+
+    def test_byte_capacity_limits_before_packet_capacity(self):
+        q = DropTailQueue(100, capacity_bytes=2500)
+        assert q.push(mkpkt(0, size=1000), 0.0) is EnqueueResult.ENQUEUED
+        assert q.push(mkpkt(1, size=1000), 0.0) is EnqueueResult.ENQUEUED
+        # Third kilobyte packet would exceed 2500 bytes.
+        assert q.push(mkpkt(2, size=1000), 0.0) is EnqueueResult.DROPPED
+        # ...but a small packet still fits.
+        assert q.push(mkpkt(3, size=400), 0.0) is EnqueueResult.ENQUEUED
+        assert q.bytes == 2400
+
+    def test_byte_capacity_frees_on_pop(self):
+        q = DropTailQueue(100, capacity_bytes=1000)
+        q.push(mkpkt(0, size=1000), 0.0)
+        assert q.push(mkpkt(1, size=1000), 0.0) is EnqueueResult.DROPPED
+        q.pop(0.0)
+        assert q.push(mkpkt(2, size=1000), 0.0) is EnqueueResult.ENQUEUED
+
+    def test_packet_capacity_still_applies_with_bytes(self):
+        q = DropTailQueue(2, capacity_bytes=10**9)
+        q.push(mkpkt(0), 0.0)
+        q.push(mkpkt(1), 0.0)
+        assert q.push(mkpkt(2), 0.0) is EnqueueResult.DROPPED
+
+
+class TestREDParams:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            REDParams(min_th=10, max_th=5)
+        with pytest.raises(ValueError):
+            REDParams(weight=0)
+        with pytest.raises(ValueError):
+            REDParams(max_p=0)
+
+
+class TestRED:
+    def test_no_early_drops_below_min_threshold(self):
+        q = REDQueue(100, REDParams(min_th=50, max_th=80), rng=np.random.default_rng(1))
+        results = [q.push(mkpkt(i), 0.0) for i in range(20)]
+        assert all(r is EnqueueResult.ENQUEUED for r in results)
+
+    def test_hard_overflow_always_drops(self):
+        q = REDQueue(5, REDParams(min_th=100, max_th=200), rng=np.random.default_rng(1))
+        for i in range(5):
+            q.push(mkpkt(i), 0.0)
+        assert q.push(mkpkt(9), 0.0) is EnqueueResult.DROPPED
+
+    def test_early_drops_between_thresholds(self):
+        rng = np.random.default_rng(2)
+        q = REDQueue(1000, REDParams(min_th=2, max_th=6, weight=0.5, max_p=0.5), rng=rng)
+        results = [q.push(mkpkt(i), 0.0) for i in range(200)]
+        dropped = sum(r is EnqueueResult.DROPPED for r in results)
+        # With avg saturating between thresholds, a nontrivial share of
+        # arrivals must be early-dropped without the queue ever overflowing.
+        assert dropped > 10
+        assert len(q) < 1000
+
+    def test_red_drops_are_spread_not_clustered(self):
+        """RED's defining property vs DropTail: consecutive-drop runs are short."""
+        rng = np.random.default_rng(3)
+        q = REDQueue(10000, REDParams(min_th=1, max_th=40, weight=1.0, max_p=0.1), rng=rng)
+        outcomes = []
+        for i in range(2000):
+            outcomes.append(q.push(mkpkt(i), 0.0) is EnqueueResult.DROPPED)
+            if len(q) > 20:
+                q.pop(0.0)
+        # longest run of consecutive drops
+        longest = run = 0
+        for d in outcomes:
+            run = run + 1 if d else 0
+            longest = max(longest, run)
+        assert longest <= 4
+
+    def test_ecn_marks_capable_packets_instead_of_dropping(self):
+        rng = np.random.default_rng(4)
+        q = REDQueue(
+            1000,
+            REDParams(min_th=1, max_th=50, weight=1.0, max_p=0.3, ecn=True),
+            rng=rng,
+        )
+        marked = dropped = 0
+        for i in range(500):
+            r = q.push(mkpkt(i, ecn=True), 0.0)
+            if r is EnqueueResult.MARKED:
+                marked += 1
+            elif r is EnqueueResult.DROPPED:
+                dropped += 1
+            if len(q) > 10:
+                q.pop(0.0)
+        assert marked > 0
+        assert q.marked == marked
+        # With avg below max_th, ECN-capable packets are marked, not dropped.
+        assert dropped == 0
+
+    def test_non_ecn_packets_still_dropped_by_ecn_queue(self):
+        rng = np.random.default_rng(5)
+        q = REDQueue(
+            1000,
+            REDParams(min_th=1, max_th=50, weight=1.0, max_p=0.3, ecn=True),
+            rng=rng,
+        )
+        dropped = 0
+        for i in range(500):
+            if q.push(mkpkt(i, ecn=False), 0.0) is EnqueueResult.DROPPED:
+                dropped += 1
+            if len(q) > 10:
+                q.pop(0.0)
+        assert dropped > 0
+
+    def test_avg_tracks_queue_growth(self):
+        q = REDQueue(100, REDParams(min_th=5, max_th=15, weight=0.5))
+        for i in range(10):
+            q.push(mkpkt(i), 0.0)
+        assert q.avg > 1.0
+
+    def test_idle_period_decays_average(self):
+        q = REDQueue(
+            100,
+            REDParams(min_th=5, max_th=15, weight=0.5),
+            service_rate_pps=1000.0,
+        )
+        for i in range(10):
+            q.push(mkpkt(i), 0.0)
+        for _ in range(10):
+            q.pop(1.0)
+        avg_before = q.avg
+        q.push(mkpkt(99), 2.0)  # 1 second idle at 1000 pps decays hard
+        assert q.avg < avg_before * 0.01
+
+    def test_gentle_region_probability(self):
+        p = REDParams(min_th=5, max_th=10, max_p=0.1, gentle=True)
+        q = REDQueue(1000, p)
+        q.avg = 15.0  # between max_th and 2*max_th
+        prob = q._early_probability()
+        assert 0.1 < prob < 1.0
+        q.avg = 25.0  # beyond 2*max_th
+        assert q._early_probability() == 1.0
+
+    def test_non_gentle_drops_all_above_max_threshold(self):
+        p = REDParams(min_th=5, max_th=10, max_p=0.1, gentle=False)
+        q = REDQueue(1000, p)
+        q.avg = 10.5
+        assert q._early_probability() == 1.0

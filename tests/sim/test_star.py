@@ -1,0 +1,82 @@
+"""Tests for the star (complete-graph) topology."""
+
+import pytest
+
+from repro.sim import Simulator, StarConfig, build_star
+from repro.sim.packet import Packet
+
+
+class Echo:
+    def __init__(self, sim):
+        self.sim = sim
+        self.got = []
+
+    def receive(self, pkt):
+        self.got.append((self.sim.now, pkt))
+
+
+def test_any_host_pair_can_communicate():
+    sim = Simulator()
+    star = build_star(sim, StarConfig(access_rate_bps=1e9))
+    hosts = [star.add_host(delay=0.001) for _ in range(4)]
+    sinks = []
+    for i, h in enumerate(hosts):
+        e = Echo(sim)
+        h.host.attach(1, e)
+        sinks.append(e)
+    # 0 -> 3 and 2 -> 1 simultaneously.
+    hosts[0].host.send(Packet(1, 0, 100, src=hosts[0].host.node_id,
+                              dst=hosts[3].host.node_id))
+    hosts[2].host.send(Packet(1, 0, 100, src=hosts[2].host.node_id,
+                              dst=hosts[1].host.node_id))
+    sim.run()
+    assert len(sinks[3].got) == 1
+    assert len(sinks[1].got) == 1
+    assert len(sinks[0].got) == 0
+
+
+def test_rtt_is_sum_of_delays():
+    sim = Simulator()
+    star = build_star(sim)
+    a = star.add_host(delay=0.001)
+    b = star.add_host(delay=0.004)
+    assert star.rtt(a, b) == pytest.approx(0.010)
+
+
+def test_one_way_latency_matches_delays():
+    sim = Simulator()
+    star = build_star(sim, StarConfig(access_rate_bps=1e9))
+    a = star.add_host(delay=0.002)
+    b = star.add_host(delay=0.003)
+    e = Echo(sim)
+    b.host.attach(1, e)
+    a.host.send(Packet(1, 0, 100, src=a.host.node_id, dst=b.host.node_id))
+    sim.run()
+    # 2ms + 3ms propagation + ~1.6us serialization (2 hops at 1Gbps)
+    assert e.got[0][0] == pytest.approx(0.005, abs=5e-6)
+
+
+def test_downlink_incast_drops_are_traced():
+    sim = Simulator()
+    star = build_star(sim, StarConfig(
+        access_rate_bps=1e9, downlink_rate_bps=8e6, buffer_pkts=3,
+    ))
+    senders = [star.add_host(delay=0.0001) for _ in range(4)]
+    target = star.add_host(delay=0.0001)
+    target.host.attach(1, Echo(sim))
+    # 4 hosts blast 10 packets each at the one 8 Mbps downlink.
+    for i, s in enumerate(senders):
+        for k in range(10):
+            s.host.send(Packet(1, i * 100 + k, 1000,
+                               src=s.host.node_id, dst=target.host.node_id))
+    sim.run()
+    assert len(target.drop_trace) > 0
+    # Only the congested host's trace records drops.
+    assert all(len(s.drop_trace) == 0 for s in senders)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    star = build_star(sim)
+    with pytest.raises(ValueError):
+        star.add_host(delay=-0.001)

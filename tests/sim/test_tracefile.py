@@ -1,0 +1,101 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.trace import DropTrace
+from repro.sim.tracefile import load_drop_trace, save_drop_trace
+
+
+def sample_trace():
+    tr = DropTrace("unit")
+    tr.record(Packet(1, 10, 1000), 0.10)
+    tr.record(Packet(2, 20, 400), 0.1001, marked=True)
+    tr.record(Packet(1, 11, 1000), 0.25)
+    return tr
+
+
+class TestRoundTrip:
+    def test_all_fields_survive(self, tmp_path):
+        tr = sample_trace()
+        p = save_drop_trace(tr, tmp_path / "trace", rtt=0.05)
+        loaded = load_drop_trace(p)
+        np.testing.assert_allclose(loaded.times, tr.times)
+        np.testing.assert_array_equal(loaded.flow_ids, tr.flow_ids)
+        np.testing.assert_array_equal(loaded.seqs, tr.seqs)
+        np.testing.assert_array_equal(loaded.sizes, tr.sizes)
+        np.testing.assert_array_equal(loaded.marked, tr.marked)
+        assert loaded.rtt == 0.05
+        assert loaded.name == "unit"
+        assert len(loaded) == 3
+
+    def test_npz_suffix_appended(self, tmp_path):
+        p = save_drop_trace(sample_trace(), tmp_path / "t")
+        assert p.suffix == ".npz"
+        assert p.exists()
+
+    def test_drop_times_exclude_marks(self, tmp_path):
+        p = save_drop_trace(sample_trace(), tmp_path / "t", rtt=0.05)
+        loaded = load_drop_trace(p)
+        np.testing.assert_allclose(loaded.drop_times(), [0.10, 0.25])
+
+    def test_intervals_use_recorded_rtt(self, tmp_path):
+        p = save_drop_trace(sample_trace(), tmp_path / "t", rtt=0.05)
+        loaded = load_drop_trace(p)
+        np.testing.assert_allclose(loaded.intervals_rtt(), [(0.25 - 0.10) / 0.05])
+
+    def test_missing_rtt_refuses_normalization(self, tmp_path):
+        p = save_drop_trace(sample_trace(), tmp_path / "t")
+        loaded = load_drop_trace(p)
+        with pytest.raises(ValueError):
+            loaded.intervals_rtt()
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        p = save_drop_trace(DropTrace("empty"), tmp_path / "e", rtt=0.1)
+        loaded = load_drop_trace(p)
+        assert len(loaded) == 0
+        assert loaded.intervals_rtt().shape == (0,)
+
+    def test_directories_created(self, tmp_path):
+        p = save_drop_trace(sample_trace(), tmp_path / "a" / "b" / "t")
+        assert p.exists()
+
+    def test_negative_rtt_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_drop_trace(sample_trace(), tmp_path / "t", rtt=-1.0)
+
+    def test_version_check(self, tmp_path):
+        p = save_drop_trace(sample_trace(), tmp_path / "t")
+        with np.load(p) as z:
+            data = {k: z[k] for k in z.files}
+        data["version"] = np.int64(999)
+        np.savez_compressed(p, **data)
+        with pytest.raises(ValueError):
+            load_drop_trace(p)
+
+
+class TestAnalysisPipeline:
+    def test_saved_trace_feeds_core_analysis(self, tmp_path):
+        """End-to-end: simulate -> archive -> reload -> analyze."""
+        from repro.core import burstiness_summary
+        from repro.sim import DumbbellConfig, Simulator, build_dumbbell
+        from repro.tcp import NewRenoSender, TcpSink
+
+        sim = Simulator()
+        db = build_dumbbell(
+            sim, DumbbellConfig(bottleneck_rate_bps=10e6, buffer_pkts=15)
+        )
+        pair = db.add_pair(rtt=0.05)
+        snd = NewRenoSender(sim, pair.left, 1, pair.right.node_id)
+        TcpSink(sim, pair.right, 1, pair.left.node_id)
+        snd.start()
+        sim.run(until=10.0)
+        assert len(db.drop_trace) > 0
+
+        p = save_drop_trace(db.drop_trace, tmp_path / "run1", rtt=0.05)
+        loaded = load_drop_trace(p)
+        live = burstiness_summary(db.drop_trace.drop_times(), 0.05)
+        offline = burstiness_summary(loaded.drop_times(), 0.05)
+        assert live.n_losses == offline.n_losses
+        assert live.frac_within_001 == offline.frac_within_001

@@ -1,0 +1,41 @@
+"""Shared fixtures for transport tests: a small dumbbell harness."""
+
+import pytest
+
+from repro.sim import DumbbellConfig, Simulator, ThroughputTrace, build_dumbbell
+from repro.tcp import TcpSink
+
+
+class Harness:
+    """One dumbbell with helpers to wire sender/sink pairs."""
+
+    def __init__(self, rate_bps=10e6, buffer_pkts=25, rtt=0.05, **cfg_kwargs):
+        self.sim = Simulator()
+        self.cfg = DumbbellConfig(
+            bottleneck_rate_bps=rate_bps, buffer_pkts=buffer_pkts, **cfg_kwargs
+        )
+        self.db = build_dumbbell(self.sim, self.cfg)
+        self.rtt = rtt
+        self.throughput = ThroughputTrace(bin_width=0.5)
+        self._next_flow = 1
+
+    def add_tcp_flow(self, sender_cls, total_packets=None, rtt=None, group=None, **kw):
+        fid = self._next_flow
+        self._next_flow += 1
+        pair = self.db.add_pair(rtt=rtt if rtt is not None else self.rtt)
+        done = []
+        snd = sender_cls(
+            self.sim, pair.left, fid, pair.right.node_id,
+            total_packets=total_packets, on_complete=done.append, **kw,
+        )
+        if group is not None:
+            self.throughput.assign(fid, group)
+        sink = TcpSink(
+            self.sim, pair.right, fid, pair.left.node_id, throughput=self.throughput
+        )
+        return snd, sink, done
+
+
+@pytest.fixture
+def harness():
+    return Harness()

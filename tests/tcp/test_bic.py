@@ -1,0 +1,138 @@
+"""Tests for BIC-TCP."""
+
+import numpy as np
+import pytest
+
+from repro.sim import DumbbellConfig, Simulator, build_dumbbell
+from repro.sim.node import Host
+from repro.tcp import BicSender, NewRenoSender, TcpSink
+
+
+def make(**kw):
+    sim = Simulator()
+    host = Host(sim)
+
+    class WireTap:
+        def send(self, pkt):
+            pass
+
+    host.uplink = WireTap()
+    return BicSender(sim, host, 1, dst=2, **kw)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(s_max=0.0)
+        with pytest.raises(ValueError):
+            make(beta=1.0)
+        with pytest.raises(ValueError):
+            make(b_min=0.0)
+
+
+class TestGrowthLaw:
+    def test_binary_search_toward_w_max(self):
+        snd = make()
+        snd.ssthresh = 1.0  # force CA
+        snd.w_max = 100.0
+        snd.cwnd = 60.0
+        # midpoint increment = (100-60)/2 = 20, capped at s_max=32 -> 20/60 per ack
+        assert snd._bic_increment() == pytest.approx(20.0 / 60.0)
+
+    def test_increment_capped_at_s_max(self):
+        snd = make(s_max=16.0)
+        snd.w_max = 1000.0
+        snd.cwnd = 100.0
+        assert snd._bic_increment() == pytest.approx(16.0 / 100.0)
+
+    def test_max_probing_beyond_w_max(self):
+        snd = make()
+        snd.w_max = 50.0
+        snd.cwnd = 52.0
+        # inc = w - w_max + 1 = 3
+        assert snd._bic_increment() == pytest.approx(3.0 / 52.0)
+
+    def test_newreno_regime_below_low_window(self):
+        snd = make(low_window=14.0)
+        snd.w_max = 100.0
+        snd.cwnd = 10.0
+        assert snd._bic_increment() == pytest.approx(1.0 / 10.0)
+
+    def test_faster_than_newreno_far_from_w_max(self):
+        """The point of BIC: reclaim a large window in far fewer RTTs."""
+        snd = make()
+        snd.ssthresh = 1.0
+        snd.w_max = 400.0
+        snd.cwnd = 200.0
+        bic_inc = snd._bic_increment() * snd.cwnd  # per-RTT packets
+        assert bic_inc == pytest.approx(32.0)  # vs NewReno's 1.0
+
+
+class TestDecreaseLaw:
+    def test_beta_decrease_and_w_max_memory(self):
+        snd = make(beta=0.8)
+        snd.next_seq = 100
+        snd.highest_acked = 0  # inflight 100
+        snd.halve_window()
+        assert snd.w_max == 100.0
+        assert snd.ssthresh == pytest.approx(80.0)
+
+    def test_fast_convergence_on_consecutive_losses(self):
+        snd = make(beta=0.8)
+        snd.next_seq = 100
+        snd.highest_acked = 0
+        snd.halve_window()  # w_max = 100
+        snd.next_seq = 80
+        snd.highest_acked = 10  # inflight 70 < w_max
+        snd.halve_window()
+        assert snd.w_max == pytest.approx(70 * 0.9)  # released room
+
+
+class TestEndToEnd:
+    def test_transfer_completes_under_loss(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, DumbbellConfig(bottleneck_rate_bps=10e6,
+                                                buffer_pkts=20))
+        pair = db.add_pair(rtt=0.05)
+        done = []
+        snd = BicSender(sim, pair.left, 1, pair.right.node_id,
+                        total_packets=1500, on_complete=done.append)
+        TcpSink(sim, pair.right, 1, pair.left.node_id)
+        snd.start()
+        sim.run(until=120.0)
+        assert done
+        assert snd.stats.retransmissions > 0
+
+    def test_bic_recovers_window_faster_than_newreno(self):
+        """After a loss on a long-fat path, BIC's binary search reclaims
+        the window in far fewer RTTs — higher goodput over the run."""
+        def run(cls):
+            sim = Simulator()
+            db = build_dumbbell(sim, DumbbellConfig(bottleneck_rate_bps=50e6,
+                                                    buffer_pkts=100))
+            pair = db.add_pair(rtt=0.1)  # BDP = 625 pkts
+            snd = cls(sim, pair.left, 1, pair.right.node_id)
+            sink = TcpSink(sim, pair.right, 1, pair.left.node_id)
+            snd.start()
+            sim.run(until=40.0)
+            return sink.stats.bytes_received
+
+        assert run(BicSender) > 1.2 * run(NewRenoSender)
+
+    def test_window_based_burstiness_shared_with_newreno(self):
+        """BIC stays window-based: back-to-back emission when the window
+        opens (the property the paper's Eq. 2 relies on)."""
+        sim = Simulator()
+        host = Host(sim)
+        sent = []
+
+        class WireTap:
+            def send(self, pkt):
+                sent.append(sim.now)
+
+        host.uplink = WireTap()
+        snd = BicSender(sim, host, 1, dst=2, initial_cwnd=10.0)
+        snd.start()
+        sim.run(until=0.01)
+        assert len(sent) == 10
+        assert max(np.diff(sent)) == 0.0

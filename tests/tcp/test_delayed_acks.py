@@ -1,0 +1,116 @@
+"""Tests for delayed acknowledgements (RFC 1122)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.node import Host
+from repro.sim.packet import DATA, Packet
+from repro.tcp import NewRenoSender, TcpSink
+from tests.tcp.conftest import Harness
+
+
+class WireTap:
+    def __init__(self, sim):
+        self.sim = sim
+        self.sent = []
+
+    def send(self, pkt):
+        self.sent.append((self.sim.now, pkt))
+
+
+def make_sink(delayed=True, timeout=0.040):
+    sim = Simulator()
+    host = Host(sim)
+    tap = WireTap(sim)
+    host.uplink = tap
+    sink = TcpSink(sim, host, 1, src=2, delayed_acks=delayed,
+                   delack_timeout=timeout)
+    return sim, sink, tap
+
+
+def data(seq, marked=False):
+    p = Packet(1, seq, 1000, kind=DATA)
+    p.ecn_marked = marked
+    return p
+
+
+class TestDelayedAcks:
+    def test_every_second_packet_acked(self):
+        sim, sink, tap = make_sink()
+        sink.receive(data(0))
+        assert len(tap.sent) == 0  # first packet held
+        sink.receive(data(1))
+        assert len(tap.sent) == 1  # second triggers the ACK
+        assert tap.sent[0][1].seq == 2
+
+    def test_timer_flushes_lone_packet(self):
+        sim, sink, tap = make_sink(timeout=0.04)
+        sink.receive(data(0))
+        sim.run(until=0.1)
+        assert len(tap.sent) == 1
+        assert tap.sent[0][0] == pytest.approx(0.04)
+
+    def test_out_of_order_acked_immediately(self):
+        """Gap packets must generate immediate dupACKs or fast retransmit
+        would stall (RFC 5681)."""
+        sim, sink, tap = make_sink()
+        sink.receive(data(0))
+        sink.receive(data(2))  # hole at 1
+        assert len(tap.sent) == 1  # immediate dup-triggering ACK
+        assert tap.sent[0][1].seq == 1
+
+    def test_ecn_mark_acked_immediately(self):
+        sim, sink, tap = make_sink()
+        sink.receive(data(0, marked=True))
+        assert len(tap.sent) == 1
+        assert tap.sent[0][1].ecn_echo
+
+    def test_timer_cancelled_by_second_packet(self):
+        sim, sink, tap = make_sink(timeout=0.04)
+        sink.receive(data(0))
+        sink.receive(data(1))
+        sim.run(until=0.2)
+        assert len(tap.sent) == 1  # no spurious timer ACK afterwards
+
+    def test_half_the_acks_of_immediate_mode(self):
+        for delayed, expected in ((False, 10), (True, 5)):
+            sim, sink, tap = make_sink(delayed=delayed)
+            for i in range(10):
+                sink.receive(data(i))
+            sim.run(until=1.0)
+            assert len(tap.sent) == expected
+
+    def test_validation(self):
+        sim = Simulator()
+        host = Host(sim)
+        with pytest.raises(ValueError):
+            TcpSink(sim, host, 1, src=2, delayed_acks=True, delack_timeout=0.0)
+
+
+class TestDelayedAcksEndToEnd:
+    def test_transfer_completes_with_delayed_acks(self):
+        h = Harness(buffer_pkts=100)
+        fid = 1
+        pair = h.db.add_pair(rtt=h.rtt)
+        done = []
+        snd = NewRenoSender(h.sim, pair.left, fid, pair.right.node_id,
+                            total_packets=300, on_complete=done.append)
+        sink = TcpSink(h.sim, pair.right, fid, pair.left.node_id,
+                       delayed_acks=True)
+        snd.start()
+        h.sim.run(until=60.0)
+        assert done
+        # Roughly half as many ACKs as packets (in-order stream).
+        assert sink.acks_sent < 0.7 * snd.stats.packets_sent
+
+    def test_loss_recovery_still_works(self):
+        h = Harness(buffer_pkts=10)
+        pair = h.db.add_pair(rtt=h.rtt)
+        done = []
+        snd = NewRenoSender(h.sim, pair.left, 1, pair.right.node_id,
+                            total_packets=500, on_complete=done.append)
+        TcpSink(h.sim, pair.right, 1, pair.left.node_id, delayed_acks=True)
+        snd.start()
+        h.sim.run(until=120.0)
+        assert done
+        assert snd.stats.retransmissions > 0

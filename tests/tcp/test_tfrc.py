@@ -1,0 +1,219 @@
+"""Tests for TFRC: throughput equation, WALI, sender/receiver loop."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import DumbbellConfig, Simulator, build_dumbbell
+from repro.tcp import (
+    NewRenoSender,
+    TcpSink,
+    TfrcReceiver,
+    TfrcSender,
+    tfrc_throughput_eq,
+    wali_loss_event_rate,
+)
+from repro.tcp.tfrc import WALI_WEIGHTS
+
+
+class TestThroughputEquation:
+    def test_monotone_decreasing_in_p(self):
+        rates = [tfrc_throughput_eq(1000, 0.1, p) for p in (0.001, 0.01, 0.1, 0.5)]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+
+    def test_monotone_decreasing_in_rtt(self):
+        r1 = tfrc_throughput_eq(1000, 0.01, 0.01)
+        r2 = tfrc_throughput_eq(1000, 0.1, 0.01)
+        assert r1 > r2
+
+    def test_scales_with_packet_size(self):
+        assert tfrc_throughput_eq(2000, 0.1, 0.01) == pytest.approx(
+            2 * tfrc_throughput_eq(1000, 0.1, 0.01)
+        )
+
+    def test_matches_sqrt_law_at_small_p(self):
+        # For small p the equation approaches s / (R * sqrt(2p/3)).
+        s, r, p = 1000, 0.1, 1e-5
+        simple = s / (r * math.sqrt(2 * p / 3))
+        assert tfrc_throughput_eq(s, r, p) == pytest.approx(simple, rel=0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            tfrc_throughput_eq(1000, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            tfrc_throughput_eq(1000, 0.0, 0.1)
+
+    def test_p_clamped_at_one(self):
+        assert tfrc_throughput_eq(1000, 0.1, 1.0) > 0
+
+
+class TestWali:
+    def test_no_losses_means_zero(self):
+        assert wali_loss_event_rate([], 1000) == 0.0
+
+    def test_uniform_intervals(self):
+        # Loss every 100 packets -> p ~= 1/100.
+        p = wali_loss_event_rate([100] * 8, 50)
+        assert p == pytest.approx(0.01)
+
+    def test_open_interval_lowers_p_when_long(self):
+        p_short = wali_loss_event_rate([100] * 8, 10)
+        p_long = wali_loss_event_rate([100] * 8, 10_000)
+        assert p_long < p_short
+
+    def test_open_interval_cannot_raise_p(self):
+        base = wali_loss_event_rate([100] * 8, 0)
+        assert wali_loss_event_rate([100] * 8, 1) <= base
+
+    def test_recent_intervals_weighted_more(self):
+        # Recent short intervals (heavy loss now) must give higher p than
+        # the same short intervals far in the past.
+        recent_bad = [10, 10, 100, 100, 100, 100, 100, 100]
+        old_bad = [100, 100, 100, 100, 100, 100, 10, 10]
+        assert wali_loss_event_rate(recent_bad, 0) > wali_loss_event_rate(old_bad, 0)
+
+    def test_uses_at_most_eight_intervals(self):
+        p8 = wali_loss_event_rate([50] * 8, 0)
+        p20 = wali_loss_event_rate([50] * 8 + [1] * 12, 0)
+        assert p8 == pytest.approx(p20)
+
+    def test_weights_follow_rfc(self):
+        assert WALI_WEIGHTS == (1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2)
+
+    def test_p_bounded_by_one(self):
+        assert wali_loss_event_rate([1] * 8, 0) <= 1.0
+
+    def test_history_discount_accelerates_decay(self):
+        """RFC 3448 §5.5: after a long loss-free run, the discounted
+        estimate drops faster than the plain WALI."""
+        closed = [100] * 8
+        long_open = 5_000
+        plain = wali_loss_event_rate(closed, long_open)
+        discounted = wali_loss_event_rate(closed, long_open, history_discount=True)
+        assert discounted < plain
+
+    def test_history_discount_inactive_for_short_open(self):
+        closed = [100] * 8
+        assert wali_loss_event_rate(closed, 50, history_discount=True) == (
+            wali_loss_event_rate(closed, 50)
+        )
+
+    def test_history_discount_still_a_probability(self):
+        for open_iv in (0, 10, 10_000, 10**7):
+            p = wali_loss_event_rate([3, 500, 2, 90], open_iv, history_discount=True)
+            assert 0.0 <= p <= 1.0
+
+
+class TfrcHarness:
+    def __init__(self, rate_bps=10e6, buffer_pkts=25, rtt=0.05):
+        self.sim = Simulator()
+        self.db = build_dumbbell(
+            self.sim, DumbbellConfig(bottleneck_rate_bps=rate_bps, buffer_pkts=buffer_pkts)
+        )
+        self.rtt = rtt
+
+    def add_tfrc(self, fid):
+        pair = self.db.add_pair(rtt=self.rtt)
+        snd = TfrcSender(self.sim, pair.left, fid, pair.right.node_id, base_rtt=self.rtt)
+        rcv = TfrcReceiver(self.sim, pair.right, fid, pair.left.node_id)
+        return snd, rcv
+
+
+class TestTfrcEndToEnd:
+    def test_single_flow_utilizes_bottleneck(self):
+        h = TfrcHarness()
+        snd, rcv = h.add_tfrc(1)
+        snd.start()
+        h.sim.run(until=30.0)
+        mbps = rcv.stats.bytes_received * 8 / 30.0 / 1e6
+        assert mbps > 6.0  # >60% of the 10 Mbps bottleneck
+        assert snd.srtt is not None and 0.04 < snd.srtt < 0.2
+
+    def test_receiver_detects_losses(self):
+        h = TfrcHarness(buffer_pkts=10)
+        snd, rcv = h.add_tfrc(1)
+        snd.start()
+        h.sim.run(until=30.0)
+        assert rcv.packets_lost > 0
+        assert rcv.loss_events > 0
+        # Bursty drops coalesce: strictly fewer events than lost packets
+        # would be typical, never more.
+        assert rcv.loss_events <= rcv.packets_lost
+
+    def test_loss_event_rate_positive_under_loss(self):
+        h = TfrcHarness(buffer_pkts=10)
+        snd, rcv = h.add_tfrc(1)
+        snd.start()
+        h.sim.run(until=30.0)
+        assert 0.0 < rcv.loss_event_rate() <= 1.0
+        assert snd.p > 0.0
+
+    def test_rate_respects_equation_under_loss(self):
+        h = TfrcHarness(buffer_pkts=10)
+        snd, rcv = h.add_tfrc(1)
+        snd.start()
+        h.sim.run(until=30.0)
+        x_eq = tfrc_throughput_eq(snd.packet_size, snd.rtt_estimate(), snd.p) * 8
+        assert snd.rate_bps <= x_eq * 1.01 + 1
+
+    def test_finite_transfer_stops(self):
+        h = TfrcHarness()
+        pair = h.db.add_pair(rtt=0.05)
+        snd = TfrcSender(h.sim, pair.left, 1, pair.right.node_id, base_rtt=0.05,
+                         total_packets=100)
+        TfrcReceiver(h.sim, pair.right, 1, pair.left.node_id)
+        snd.start()
+        h.sim.run(until=30.0)
+        assert snd.finished
+        assert snd.stats.packets_sent == 100
+
+    def test_no_feedback_halves_rate(self):
+        sim = Simulator()
+        db = build_dumbbell(sim, DumbbellConfig())
+        pair = db.add_pair(rtt=0.05)
+        snd = TfrcSender(sim, pair.left, 1, pair.right.node_id, base_rtt=0.05)
+        # No receiver attached: all data unclaimed, no feedback ever.
+        rate0 = snd.rate_bps
+        snd.start()
+        sim.run(until=10.0)
+        assert snd.rate_bps < rate0
+
+    def test_tfrc_loses_to_newreno(self):
+        """Paper §5: TFRC sharing a DropTail bottleneck with window-based
+        TCP gets less than its fair share (Rhee & Xu's observation, here a
+        consequence of loss burstiness)."""
+        h = TfrcHarness(rate_bps=20e6, buffer_pkts=125)
+        tfrc_rcvs = []
+        for i in range(3):
+            snd, rcv = h.add_tfrc(100 + i)
+            snd.start(0.003 * i)
+            tfrc_rcvs.append(rcv)
+        tcp_sinks = []
+        for i in range(3):
+            pair = h.db.add_pair(rtt=h.rtt)
+            fid = 200 + i
+            snd = NewRenoSender(h.sim, pair.left, fid, pair.right.node_id)
+            sink = TcpSink(h.sim, pair.right, fid, pair.left.node_id)
+            snd.start(0.003 * i + 0.001)
+            tcp_sinks.append(sink)
+        h.sim.run(until=30.0)
+        tfrc_bytes = sum(r.stats.bytes_received for r in tfrc_rcvs)
+        tcp_bytes = sum(s.stats.bytes_received for s in tcp_sinks)
+        assert tcp_bytes > tfrc_bytes
+
+    def test_stop_cancels_timers(self):
+        h = TfrcHarness()
+        snd, _ = h.add_tfrc(1)
+        snd.start()
+        h.sim.run(until=1.0)
+        snd.stop()
+        sent = snd.stats.packets_sent
+        h.sim.run(until=2.0)
+        assert snd.stats.packets_sent == sent
+
+    def test_invalid_base_rtt(self):
+        h = TfrcHarness()
+        pair = h.db.add_pair(rtt=0.05)
+        with pytest.raises(ValueError):
+            TfrcSender(h.sim, pair.left, 9, pair.right.node_id, base_rtt=0.0)

@@ -1,0 +1,66 @@
+"""Property-based tests for TFRC's mathematical components."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp import tfrc_throughput_eq, wali_loss_event_rate
+
+
+@settings(max_examples=80)
+@given(
+    st.floats(min_value=1e-6, max_value=0.9),
+    st.floats(min_value=1e-6, max_value=0.9),
+    st.floats(min_value=0.001, max_value=2.0),
+    st.integers(min_value=40, max_value=9000),
+)
+def test_throughput_eq_monotone_in_p(p1, p2, rtt, s):
+    lo, hi = sorted((p1, p2))
+    if hi - lo < 1e-9:
+        return
+    assert tfrc_throughput_eq(s, rtt, lo) >= tfrc_throughput_eq(s, rtt, hi)
+
+
+@settings(max_examples=80)
+@given(
+    st.floats(min_value=1e-6, max_value=1.0),
+    st.floats(min_value=0.001, max_value=1.0),
+    st.floats(min_value=0.001, max_value=1.0),
+    st.integers(min_value=40, max_value=9000),
+)
+def test_throughput_eq_monotone_in_rtt(p, r1, r2, s):
+    lo, hi = sorted((r1, r2))
+    if hi - lo < 1e-9:
+        return
+    assert tfrc_throughput_eq(s, lo, p) >= tfrc_throughput_eq(s, hi, p)
+
+
+@settings(max_examples=80)
+@given(
+    st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=12),
+    st.integers(min_value=0, max_value=100_000),
+)
+def test_wali_always_a_probability(closed, open_interval):
+    p = wali_loss_event_rate(closed, open_interval)
+    assert 0.0 <= p <= 1.0
+
+
+@settings(max_examples=80)
+@given(st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=8))
+def test_wali_open_interval_monotone_nonincreasing(closed):
+    """Receiving more loss-free packets can only lower (or hold) p."""
+    ps = [wali_loss_event_rate(closed, o) for o in (0, 10, 1_000, 100_000)]
+    assert all(a >= b - 1e-12 for a, b in zip(ps, ps[1:]))
+
+
+@settings(max_examples=80)
+@given(
+    st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=8),
+    st.integers(min_value=2, max_value=10),
+)
+def test_wali_scaling_intervals_scales_rate(closed, k):
+    """Doubling every interval roughly halves the loss event rate."""
+    p1 = wali_loss_event_rate(closed, 0)
+    pk = wali_loss_event_rate([k * c for c in closed], 0)
+    if p1 < 1.0:  # away from the clamp
+        assert pk == min(1.0, np.float64(p1)) / k or abs(pk - p1 / k) < 1e-9

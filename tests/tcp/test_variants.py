@@ -1,0 +1,201 @@
+"""Behavioural tests for Reno, NewReno, and Pacing."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.node import Host
+from repro.tcp import NewRenoSender, PacedSender, RenoSender
+from tests.tcp.conftest import Harness
+
+
+class TestSlowStart:
+    @pytest.mark.parametrize("cls", [RenoSender, NewRenoSender])
+    def test_window_doubles_per_rtt_without_loss(self, cls):
+        h = Harness(buffer_pkts=5000)
+        snd, _, _ = h.add_tcp_flow(cls, total_packets=None)
+        snd.start()
+        # After ~4 RTTs of loss-free slow start from cwnd=2: 2 -> 4 -> 8 -> 16 -> 32
+        h.sim.run(until=0.05 * 4 + 0.04)
+        assert snd.cwnd >= 16
+
+    def test_ca_growth_is_linear(self):
+        h = Harness(buffer_pkts=5000)
+        snd, _, _ = h.add_tcp_flow(NewRenoSender, total_packets=None,
+                                   initial_ssthresh=8.0)
+        snd.start()
+        h.sim.run(until=1.0)
+        cw_1 = snd.cwnd
+        h.sim.run(until=2.0)
+        cw_2 = snd.cwnd
+        # ~+1 packet per RTT in congestion avoidance (20 RTTs per second).
+        growth = cw_2 - cw_1
+        assert 10 <= growth <= 30
+
+
+class TestFastRetransmit:
+    def test_third_dupack_triggers_fast_retransmit(self):
+        h = Harness(buffer_pkts=20)
+        snd, _, _ = h.add_tcp_flow(NewRenoSender, total_packets=600)
+        snd.start()
+        h.sim.run(until=60.0)
+        assert snd.finished
+        assert snd.stats.fast_retransmits > 0
+        assert snd.stats.timeouts == 0  # NewReno rides out the burst
+
+    def test_reno_needs_timeouts_for_burst_loss(self):
+        """Reno deflates on the first partial ACK, so a multi-packet loss
+        burst usually costs it an RTO; NewReno avoids that.  This contrast
+        is the RFC 2582 motivation and shows our variants differ correctly."""
+        results = {}
+        for cls in (RenoSender, NewRenoSender):
+            h = Harness(buffer_pkts=15)
+            snd, _, done = h.add_tcp_flow(cls, total_packets=1500)
+            snd.start()
+            h.sim.run(until=300.0)
+            assert done, f"{cls.variant} did not finish"
+            results[cls.variant] = (snd.stats.timeouts, done[0])
+        assert results["reno"][0] >= results["newreno"][0]
+        assert results["newreno"][1] <= results["reno"][1] * 1.5
+
+    def test_window_halves_on_loss(self):
+        h = Harness(buffer_pkts=20)
+        snd, _, _ = h.add_tcp_flow(NewRenoSender, total_packets=None)
+        snd.start()
+        h.sim.run(until=10.0)
+        # After loss episodes, ssthresh reflects halving: well below the
+        # slow-start overshoot peak and at least the floor of 2.
+        assert 2.0 <= snd.ssthresh < 200.0
+        assert snd.stats.fast_retransmits >= 1
+
+
+class TestNewRenoPartialAck:
+    def test_partial_acks_retransmit_without_timeout(self):
+        # Small buffer => multi-packet loss bursts; NewReno must clear them
+        # one hole per RTT with no RTO.
+        h = Harness(buffer_pkts=10)
+        snd, _, done = h.add_tcp_flow(NewRenoSender, total_packets=800)
+        snd.start()
+        h.sim.run(until=120.0)
+        assert done
+        assert snd.stats.retransmissions > 0
+        # Rare RTOs can happen when a retransmission itself is dropped, but
+        # partial-ACK recovery must carry most of the load.
+        assert snd.stats.timeouts <= 2
+
+
+class TestPacing:
+    def test_emissions_are_evenly_spaced(self):
+        """The defining rate-based property: sub-RTT inter-send gaps are
+        near-uniform, never back-to-back bursts."""
+        sim = Simulator()
+        host = Host(sim)
+        sent = []
+
+        class WireTap:
+            def send(self, pkt):
+                sent.append(sim.now)
+
+        host.uplink = WireTap()
+        snd = PacedSender(sim, host, 1, dst=2, total_packets=None, base_rtt=0.1,
+                          initial_cwnd=10.0, initial_ssthresh=10.0)
+        snd.start()
+        sim.run(until=0.1)  # one RTT, no acks: exactly the initial window
+        gaps = np.diff(sent)
+        assert len(sent) == 10
+        # cwnd/RTT = 100 pkt/s -> 10ms gaps
+        np.testing.assert_allclose(gaps, 0.01, rtol=1e-6)
+
+    def test_window_based_sender_bursts_by_contrast(self):
+        sim = Simulator()
+        host = Host(sim)
+        sent = []
+
+        class WireTap:
+            def send(self, pkt):
+                sent.append(sim.now)
+
+        host.uplink = WireTap()
+        snd = NewRenoSender(sim, host, 1, dst=2, total_packets=None,
+                            initial_cwnd=10.0)
+        snd.start()
+        sim.run(until=0.1)
+        assert len(sent) == 10
+        assert max(np.diff(sent)) == 0.0  # all at t=0: one burst
+
+    def test_paced_transfer_completes(self, harness):
+        snd, _, done = harness.add_tcp_flow(
+            PacedSender, total_packets=500, base_rtt=harness.rtt
+        )
+        snd.start()
+        harness.sim.run(until=120.0)
+        assert done
+
+    def test_pacing_interval_tracks_window(self):
+        sim = Simulator()
+        host = Host(sim)
+        snd = PacedSender(sim, host, 1, dst=2, base_rtt=0.1, initial_cwnd=4.0)
+        assert snd.pacing_interval() == pytest.approx(0.1 / 4.0)
+        snd.cwnd = 8.0
+        assert snd.pacing_interval() == pytest.approx(0.1 / 8.0)
+
+    def test_invalid_base_rtt(self):
+        sim = Simulator()
+        host = Host(sim)
+        with pytest.raises(ValueError):
+            PacedSender(sim, host, 1, dst=2, base_rtt=0.0)
+
+    def test_pacing_loses_to_newreno_in_competition(self):
+        """Paper §4.1 / Figure 7 in miniature: equal numbers of paced and
+        window-based flows share a bottleneck; the paced aggregate ends up
+        lower."""
+        h = Harness(rate_bps=20e6, buffer_pkts=125, rtt=0.05)
+        for i in range(4):
+            s, _, _ = h.add_tcp_flow(NewRenoSender, group=0)
+            s.start(0.002 * i)
+        for i in range(4):
+            s, _, _ = h.add_tcp_flow(PacedSender, group=1, base_rtt=0.05)
+            s.start(0.002 * i + 0.001)
+        h.sim.run(until=20.0)
+        newreno = h.throughput.mean_mbps(0, 20.0)
+        paced = h.throughput.mean_mbps(1, 20.0)
+        assert newreno > paced
+
+
+class TestTimeout:
+    def test_timeout_recovers_total_blackout(self):
+        """Drop every packet for a while by disconnecting the route, then
+        restore it: the sender must recover via RTO."""
+        h = Harness(buffer_pkts=100)
+        snd, sink, done = h.add_tcp_flow(NewRenoSender, total_packets=50)
+        pair = h.db.pairs[0]
+        real_route = h.db.left_router.routes[pair.right.node_id]
+
+        class BlackHole:
+            def send(self, pkt):
+                pass
+
+        h.db.left_router.routes[pair.right.node_id] = BlackHole()
+        snd.start()
+        h.sim.run(until=1.0)
+        assert snd.highest_acked == 0
+        assert snd.stats.timeouts >= 1
+        h.db.left_router.routes[pair.right.node_id] = real_route
+        h.sim.run(until=60.0)
+        assert done, "flow did not recover after blackout"
+
+    def test_backoff_doubles_rto(self):
+        h = Harness(buffer_pkts=100)
+        snd, _, _ = h.add_tcp_flow(NewRenoSender, total_packets=50)
+        pair = h.db.pairs[0]
+
+        class BlackHole:
+            def send(self, pkt):
+                pass
+
+        h.db.left_router.routes[pair.right.node_id] = BlackHole()
+        snd.start()
+        # Initial RTO 1s, doubling: timeouts at t ~= 1, 3, 7.
+        h.sim.run(until=8.0)
+        assert snd.stats.timeouts >= 3
+        assert snd._backoff >= 8.0
