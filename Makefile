@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-paper figures examples clean
+.PHONY: install test check-invariants bench bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test:
+test: check-invariants
 	$(PYTHON) -m pytest tests/
+
+# Conservation smoke: run the two simulator-heavy figures with the
+# invariant checker armed; any accounting violation aborts the run.
+check-invariants:
+	PYTHONPATH=src $(PYTHON) -m repro fig2 --check-invariants --metrics-out metrics/fig2.json
+	PYTHONPATH=src $(PYTHON) -m repro fig7 --check-invariants --metrics-out metrics/fig7.json
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -23,5 +29,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis figures
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis figures metrics
 	find . -name __pycache__ -type d -exec rm -rf {} +

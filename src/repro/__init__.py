@@ -21,6 +21,9 @@ Subpackages
     synthetic path RTT/loss models, CBR probing campaigns.
 ``repro.apps``
     Distributed-application models (parallel chunked transfers).
+``repro.obs``
+    Observability: metrics registry, packet-conservation invariant
+    checker, event-loop profiling (wired into experiments and the CLI).
 ``repro.experiments``
     One driver per paper figure/table; see DESIGN.md for the index.
 ``repro.extensions``
@@ -36,6 +39,7 @@ __all__ = [
     "experiments",
     "extensions",
     "internet",
+    "obs",
     "sim",
     "tcp",
 ]

@@ -4,17 +4,28 @@ Usage::
 
     python -m repro list                 # what can be regenerated
     python -m repro fig2 [--seed 1] [--scale fast|paper]
+    python -m repro fig2 --check-invariants --metrics-out m.json
     python -m repro all                  # everything, in paper order
 
 Each command runs the corresponding experiment driver and prints the
 paper-shaped output (the same text the benchmarks print).
+
+``--check-invariants`` arms the packet-conservation checker
+(:mod:`repro.obs`) for drivers that support it: any accounting violation
+aborts the run with a diagnostic ``InvariantViolation``.  ``--metrics-out
+PATH`` writes a metrics JSON (per-queue conservation counters, link
+utilization, event-loop statistics) next to the results; when several
+experiments run, each gets its own ``PATH`` with the experiment name
+spliced in before the extension.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -139,7 +150,29 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also append each result block to this file",
     )
+    p.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        help="write a metrics JSON (conservation counters, link utilization, "
+        "event-loop stats) to this path",
+    )
+    p.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="verify packet-conservation invariants during and after the run "
+        "(aborts with InvariantViolation on any accounting error)",
+    )
     return p
+
+
+def _metrics_path(base: str, experiment: str, multi: bool) -> str:
+    """Per-experiment metrics path: splice the name in when running several."""
+    if not multi:
+        return base
+    p = Path(base)
+    suffix = p.suffix if p.suffix else ".json"
+    return str(p.with_name(f"{p.stem}.{experiment}{suffix}"))
 
 
 def _resolve_scale(name: Optional[str]):
@@ -163,9 +196,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     scale = _resolve_scale(args.scale)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     sink = open(args.out, "a") if args.out else None
+    # The observability layer is configured through the environment so the
+    # knobs reach experiment drivers without threading new parameters
+    # through every runner signature (see repro.obs.runtime).
+    from repro.obs.runtime import ENV_CHECK_INVARIANTS, ENV_METRICS_OUT
+
+    saved_env = {
+        k: os.environ.get(k) for k in (ENV_CHECK_INVARIANTS, ENV_METRICS_OUT)
+    }
+    if args.check_invariants:
+        os.environ[ENV_CHECK_INVARIANTS] = "1"
     try:
         for name in names:
             runner, desc = EXPERIMENTS[name]
+            if args.metrics_out:
+                os.environ[ENV_METRICS_OUT] = _metrics_path(
+                    args.metrics_out, name, multi=len(names) > 1
+                )
             print(f"=== {desc} ===")
             t0 = time.perf_counter()
             text = runner(args.seed, scale)
@@ -176,6 +223,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if sink is not None:
             sink.close()
+        for k, v in saved_env.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
     return 0
 
 

@@ -52,12 +52,22 @@ class IntervalPdf:
     def fraction_below(self, x: float) -> float:
         """Empirical fraction of intervals strictly below ``x`` RTT.
 
-        Computed from the binned mass (consistent with the figures); ``x``
-        is snapped up to the nearest bin edge.
+        Computed from the binned mass (consistent with the figures): only
+        bins lying entirely below ``x`` contribute, i.e. ``x`` is snapped
+        *down* to the nearest bin edge (with a round-off guard so an ``x``
+        meant to be an edge never loses its last bin to float error).
+        Snapping up instead would overcount by up to one bin — the partial
+        bin *containing* ``x`` — e.g. ``x = 0.03`` with 0.02-RTT bins
+        would include intervals in ``[0.02, 0.04)``.  For sub-bin
+        thresholds (the paper's "< 0.01 RTT" at 0.02-RTT bins) histogram
+        at a finer ``bin_size`` or use
+        :func:`repro.core.burstiness.fraction_within` on the raw
+        intervals.
         """
         if self.n == 0:
             return float("nan")
-        k = int(np.ceil(round(x / self.bin_width, 9)))
+        k = int(np.floor(round(x / self.bin_width, 9)))
+        k = max(0, min(k, len(self.density)))
         return float(np.sum(self.mass[:k]))
 
     def rate_per_rtt(self) -> float:

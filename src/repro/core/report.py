@@ -102,12 +102,26 @@ def write_csv(path: Union[str, Path], columns: Mapping[str, np.ndarray]) -> Path
     return p
 
 
-def pdf_figure_text(pdf, poisson_density: np.ndarray, caption: str) -> str:
-    """Full figure block: caption, headline mass fractions, decimated series."""
+def pdf_figure_text(
+    pdf,
+    poisson_density: np.ndarray,
+    caption: str,
+    frac_001: Optional[float] = None,
+    frac_1: Optional[float] = None,
+) -> str:
+    """Full figure block: caption, headline mass fractions, decimated series.
+
+    Pass the exact ``frac_001`` / ``frac_1`` computed from the raw
+    intervals when available; the fallback reads the binned PDF, which
+    cannot resolve thresholds finer than its bin width (``fraction_below``
+    counts whole bins strictly below the threshold).
+    """
+    f001 = pdf.fraction_below(0.01) if frac_001 is None else frac_001
+    f1 = pdf.fraction_below(1.0) if frac_1 is None else frac_1
     head = (
         f"{caption}\n"
         f"  n_intervals={pdf.n}  mean_interval={pdf.mean_interval:.4g} RTT\n"
-        f"  mass < 0.01 RTT: {pdf.fraction_below(0.01) * 100:.1f}%   "
-        f"mass < 1 RTT: {pdf.fraction_below(1.0) * 100:.1f}%"
+        f"  mass < 0.01 RTT: {f001 * 100:.1f}%   "
+        f"mass < 1 RTT: {f1 * 100:.1f}%"
     )
     return head + "\n" + format_pdf_series(pdf.centers, pdf.density, poisson_density)

@@ -13,17 +13,26 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.obs import RunObservation, observe_run
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import Dumbbell
 from repro.tcp.onoff import OnOffSource, noise_fleet_params
 from repro.tcp.sink import UdpSink
 
-__all__ = ["Scale", "FAST", "PAPER", "current_scale", "add_noise_fleet", "random_rtts"]
+__all__ = [
+    "Scale",
+    "FAST",
+    "PAPER",
+    "current_scale",
+    "add_noise_fleet",
+    "observe_experiment",
+    "random_rtts",
+]
 
 
 @dataclass(frozen=True)
@@ -104,6 +113,26 @@ def current_scale(override: Optional[Scale] = None) -> Scale:
         raise ValueError(
             f"unknown REPRO_SCALE={name!r}; expected one of {sorted(_PROFILES)}"
         ) from None
+
+
+def observe_experiment(
+    sim: Simulator,
+    db: Optional[Dumbbell] = None,
+    name: str = "run",
+    flows: Iterable[tuple] = (),
+) -> RunObservation:
+    """Attach the observability layer to a figure-reproduction run.
+
+    Resolves configuration from the environment (the ``repro`` CLI's
+    ``--metrics-out`` / ``--check-invariants`` flags set it): when enabled,
+    the run gets a metrics registry over the engine, bottleneck links,
+    queues, and TCP flows, plus periodic packet-conservation checks.
+    Drivers wrap their main ``sim.run`` in ``obs.profiled()`` and call
+    ``obs.finalize(duration)`` after analysis, which performs the teardown
+    invariant sweep and writes the metrics JSON next to the results.  When
+    no observability is requested the returned handle is inert and free.
+    """
+    return observe_run(sim, db=db, name=name, flows=flows)
 
 
 def random_rtts(n: int, streams: RngStreams, lo: float = 0.002, hi: float = 0.200) -> np.ndarray:

@@ -23,7 +23,13 @@ from repro.core.intervals import intervals_from_trace
 from repro.core.pdf import IntervalPdf, interval_pdf, poisson_reference_pdf
 from repro.core.poisson import PoissonComparison, compare_to_poisson
 from repro.core.report import pdf_figure_text
-from repro.experiments.common import Scale, add_noise_fleet, current_scale, random_rtts
+from repro.experiments.common import (
+    Scale,
+    add_noise_fleet,
+    current_scale,
+    observe_experiment,
+    random_rtts,
+)
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
@@ -52,6 +58,8 @@ class Fig2Result:
             self.pdf,
             self.poisson,
             "Figure 2 — PDF of inter-loss time (NS-2-style simulation)",
+            frac_001=self.frac_001,
+            frac_1=self.frac_1,
         )
 
 
@@ -80,21 +88,25 @@ def run_fig2(
     db = build_dumbbell(sim, cfg)
 
     start_rng = streams.stream("starts")
+    flows = []
     for i, rtt in enumerate(rtts):
         pair = db.add_pair(rtt=float(rtt), name=f"tcp{i}")
         fid = 100 + i
         snd = sender_cls(sim, pair.left, fid, pair.right.node_id, total_packets=None)
-        TcpSink(sim, pair.right, fid, pair.left.node_id)
+        sink = TcpSink(sim, pair.right, fid, pair.left.node_id)
+        flows.append((snd, sink))
         snd.start(float(start_rng.uniform(0.0, 0.5)))
 
     add_noise_fleet(sim, db, streams, sc.n_noise_flows, sc.noise_load)
-    sim.run(until=sc.measure_duration)
+    obs = observe_experiment(sim, db=db, name="fig2", flows=flows)
+    with obs.profiled():
+        sim.run(until=sc.measure_duration)
 
     drop_times = db.drop_trace.drop_times()
     intervals = intervals_from_trace(drop_times, mean_rtt)
     pdf = interval_pdf(intervals)
     poisson = poisson_reference_pdf(pdf.rate_per_rtt(), pdf.edges)
-    return Fig2Result(
+    result = Fig2Result(
         pdf=pdf,
         poisson=poisson,
         frac_001=fraction_within(intervals, 0.01),
@@ -104,3 +116,5 @@ def run_fig2(
         mean_rtt=mean_rtt,
         bottleneck_utilization=db.bottleneck_fwd.utilization(sc.measure_duration),
     )
+    obs.finalize(duration=sc.measure_duration)
+    return result

@@ -50,6 +50,8 @@ class Fig3Result:
             self.pdf,
             self.poisson,
             "Figure 3 — PDF of inter-loss time (Dummynet-style emulation)",
+            frac_001=self.frac_001,
+            frac_1=self.frac_1,
         )
 
 

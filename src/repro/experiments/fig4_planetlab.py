@@ -44,6 +44,8 @@ class Fig4Result:
             self.pdf,
             self.poisson,
             "Figure 4 — PDF of inter-loss time (Internet campaign, PlanetLab substitute)",
+            frac_001=self.frac_001,
+            frac_1=self.frac_1,
         )
         tail = (
             f"\nexperiments: {len(self.campaign.experiments)} "

@@ -15,7 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.report import format_series
-from repro.experiments.common import Scale, current_scale
+from repro.experiments.common import Scale, current_scale, observe_experiment
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
@@ -95,22 +95,28 @@ def run_fig7(
 
     start_rng = streams.stream("starts")
     n = sc.fig7_flows_per_class
+    flows = []
     for i in range(n):
         pair = db.add_pair(rtt=rtt, name=f"nr{i}")
         fid = 100 + i
         snd = NewRenoSender(sim, pair.left, fid, pair.right.node_id)
-        TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
+        sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
         tp.assign(fid, GROUP_NEWRENO)
+        flows.append((snd, sink))
         snd.start(float(start_rng.uniform(0.0, 0.1)))
     for i in range(n):
         pair = db.add_pair(rtt=rtt, name=f"pc{i}")
         fid = 200 + i
         snd = PacedSender(sim, pair.left, fid, pair.right.node_id, base_rtt=rtt)
-        TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
+        sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
         tp.assign(fid, GROUP_PACING)
+        flows.append((snd, sink))
         snd.start(float(start_rng.uniform(0.0, 0.1)))
 
-    sim.run(until=sc.fig7_duration)
+    obs = observe_experiment(sim, db=db, name="fig7", flows=flows)
+    with obs.profiled():
+        sim.run(until=sc.fig7_duration)
+    obs.finalize(duration=sc.fig7_duration)
 
     t, nr = tp.series(GROUP_NEWRENO, until=sc.fig7_duration - 1e-9)
     _, pc = tp.series(GROUP_PACING, until=sc.fig7_duration - 1e-9)

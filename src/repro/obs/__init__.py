@@ -1,0 +1,50 @@
+"""Observability: metrics, conservation invariants, event-loop profiling.
+
+The paper's headline results (Figures 2-4 loss-interval PDFs, Figure 7
+fairness) rest on per-packet drop accounting being exact: one miscounted
+drop silently skews the burstiness PDFs.  This package turns the passive
+counters the simulator already keeps into an active regression fence:
+
+``MetricsRegistry``
+    Named counters / gauges / histograms with JSON export; simulator
+    components register themselves via their ``register_metrics`` hooks.
+``InvariantChecker``
+    Verifies packet-conservation identities per queue, link, and flow —
+    ``arrived == enqueued + dropped``, ``enqueued == dequeued + occupancy``,
+    ``sent == arrived-at-sink + dropped + in-flight`` — at configurable
+    sim-time intervals and at teardown, raising a structured
+    :class:`InvariantViolation` carrying a diagnostic snapshot.
+``EventLoopProfile``
+    Event-loop statistics (events/sec, heap size, cancelled-event ratio,
+    per-callback-type timing) captured by ``Simulator.profile()``.
+
+:mod:`repro.obs.runtime` wires all three into experiment drivers and the
+``repro`` CLI (``--metrics-out`` / ``--check-invariants``).
+"""
+
+from repro.obs.invariants import (
+    FlowBinding,
+    InvariantChecker,
+    InvariantViolation,
+    check_link,
+    check_queue,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiling import EventLoopProfile
+from repro.obs.runtime import RunObservation, observe_run, observation_config
+
+__all__ = [
+    "Counter",
+    "EventLoopProfile",
+    "FlowBinding",
+    "Gauge",
+    "Histogram",
+    "InvariantChecker",
+    "InvariantViolation",
+    "MetricsRegistry",
+    "RunObservation",
+    "check_link",
+    "check_queue",
+    "observation_config",
+    "observe_run",
+]

@@ -1,0 +1,399 @@
+"""Packet-conservation invariants over queues, links, and flows.
+
+Every queue already counts arrivals, enqueues, dequeues, and drops; every
+link counts offered and forwarded packets; every TCP sender/sink pair
+counts sent, arrived, and delivered packets.  This module *checks* the
+identities those counters must satisfy:
+
+queue
+    ``arrived == enqueued + dropped`` and
+    ``enqueued == dequeued + occupancy``.
+link
+    ``offered == forwarded + transmitting + queued + dropped`` (the
+    transmitter holds at most one packet).
+flow
+    ``0 <= in-flight``, ``delivered <= unique sends``, and the byte/packet
+    conservation ``arrived-at-sink + dropped <= sent`` (with equality once
+    the event loop has drained, when the flow's drop traces are complete).
+
+Violations raise :class:`InvariantViolation`, which carries the failed
+identity and a full diagnostic snapshot of the subject's counters, so a
+broken accounting path is caught at the first check after it diverges —
+not as a silently skewed Figure 2 PDF.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+    from repro.sim.queues import Queue
+
+__all__ = [
+    "InvariantViolation",
+    "check_queue",
+    "check_link",
+    "FlowBinding",
+    "InvariantChecker",
+]
+
+
+class InvariantViolation(RuntimeError):
+    """A conservation identity failed.
+
+    Attributes
+    ----------
+    invariant:
+        Short name of the failed identity (e.g. ``"queue.arrival"``).
+    subject:
+        Name of the component that failed (queue/link/flow name).
+    detail:
+        Human-readable statement of the identity with both sides evaluated.
+    snapshot:
+        Counter values of the subject at check time (JSON-serializable).
+    time:
+        Simulation time of the check.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        subject: str,
+        detail: str,
+        snapshot: dict,
+        time: float = 0.0,
+    ):
+        self.invariant = invariant
+        self.subject = subject
+        self.detail = detail
+        self.snapshot = snapshot
+        self.time = time
+        super().__init__(
+            f"[t={time:.6f}] {invariant} violated for {subject!r}: {detail}; "
+            f"snapshot={snapshot}"
+        )
+
+
+def _queue_snapshot(q: "Queue") -> dict:
+    return {
+        "name": q.name,
+        "arrived": q.arrived,
+        "enqueued": q.enqueued,
+        "dequeued": q.dequeued,
+        "dropped": q.dropped,
+        "marked": q.marked,
+        "occupancy": len(q),
+        "bytes": q.bytes,
+        "capacity": q.capacity,
+    }
+
+
+def check_queue(q: "Queue", now: float = 0.0) -> dict:
+    """Verify the queue conservation identities; returns the snapshot."""
+    snap = _queue_snapshot(q)
+    if q.arrived != q.enqueued + q.dropped:
+        raise InvariantViolation(
+            "queue.arrival",
+            q.name,
+            f"arrived ({q.arrived}) != enqueued ({q.enqueued}) + dropped ({q.dropped})",
+            snap,
+            now,
+        )
+    if q.enqueued != q.dequeued + len(q):
+        raise InvariantViolation(
+            "queue.occupancy",
+            q.name,
+            f"enqueued ({q.enqueued}) != dequeued ({q.dequeued}) + occupancy ({len(q)})",
+            snap,
+            now,
+        )
+    if len(q) > q.capacity:
+        raise InvariantViolation(
+            "queue.capacity",
+            q.name,
+            f"occupancy ({len(q)}) exceeds capacity ({q.capacity})",
+            snap,
+            now,
+        )
+    return snap
+
+
+def _link_snapshot(link: "Link") -> dict:
+    return {
+        "name": link.name,
+        "offered": link.packets_offered,
+        "forwarded": link.packets_forwarded,
+        "bytes_forwarded": link.bytes_forwarded,
+        "busy": link.busy,
+        "busy_time": link.busy_time,
+        "queued": len(link.queue),
+        "queue_dropped": link.queue.dropped,
+    }
+
+
+def check_link(link: "Link", now: float = 0.0) -> dict:
+    """Verify link-level conservation; returns the snapshot.
+
+    Every packet offered to the link is exactly one of: forwarded, in the
+    transmitter (at most one, iff ``busy``), waiting in the queue, or
+    dropped by the queue.
+    """
+    snap = _link_snapshot(link)
+    transmitting = 1 if link.busy else 0
+    accounted = link.packets_forwarded + transmitting + len(link.queue) + link.queue.dropped
+    if link.packets_offered != accounted:
+        raise InvariantViolation(
+            "link.conservation",
+            link.name,
+            f"offered ({link.packets_offered}) != forwarded ({link.packets_forwarded}) "
+            f"+ transmitting ({transmitting}) + queued ({len(link.queue)}) "
+            f"+ dropped ({link.queue.dropped})",
+            snap,
+            now,
+        )
+    return snap
+
+
+class FlowBinding:
+    """A sender/sink pair plus the drop traces covering its data path.
+
+    ``drop_traces`` should list every :class:`~repro.sim.trace.DropTrace`
+    attached to a queue the flow's *data* packets can traverse; set
+    ``traces_complete`` when they cover all loss points, which upgrades the
+    teardown check from ``arrived + dropped <= sent`` to strict equality
+    once the event loop has drained.
+    """
+
+    def __init__(
+        self,
+        sender,
+        sink=None,
+        drop_traces: Iterable = (),
+        traces_complete: bool = False,
+        name: Optional[str] = None,
+    ):
+        self.sender = sender
+        self.sink = sink
+        self.drop_traces = tuple(drop_traces)
+        self.traces_complete = bool(traces_complete)
+        self.name = name if name is not None else f"flow{sender.flow_id}"
+
+    # -- helpers --------------------------------------------------------
+    def dropped_packets(self) -> int:
+        """Recorded true drops (ECN marks excluded) for this flow."""
+        fid = self.sender.flow_id
+        total = 0
+        for tr in self.drop_traces:
+            fids = tr.flow_ids
+            if len(fids) == 0:
+                continue
+            total += int(np.sum((fids == fid) & ~tr.marked))
+        return total
+
+    def snapshot(self) -> dict:
+        """Counter values for diagnostics (JSON-serializable)."""
+        snd = self.sender
+        snap = {
+            "flow_id": snd.flow_id,
+            "packets_sent": snd.stats.packets_sent,
+            "bytes_sent": snd.stats.bytes_sent,
+            "retransmissions": snd.stats.retransmissions,
+            "next_seq": snd.next_seq,
+            "highest_acked": snd.highest_acked,
+            "inflight": snd.inflight,
+            "dropped": self.dropped_packets(),
+        }
+        if self.sink is not None:
+            snap["sink_packets_arrived"] = getattr(self.sink, "packets_arrived", None)
+            snap["sink_packets_received"] = self.sink.stats.packets_received
+            snap["sink_next_expected"] = getattr(self.sink, "next_expected", None)
+        return snap
+
+    def check(self, now: float = 0.0, idle: bool = False) -> dict:
+        """Verify the flow conservation identities; returns the snapshot."""
+        snd = self.sender
+        snap = self.snapshot()
+
+        def fail(invariant: str, detail: str) -> None:
+            raise InvariantViolation(invariant, self.name, detail, snap, now)
+
+        if snd.inflight < 0:
+            fail("flow.inflight", f"negative in-flight count ({snd.inflight})")
+        if snd.highest_acked > snd.next_seq:
+            fail(
+                "flow.sequencing",
+                f"highest_acked ({snd.highest_acked}) > next_seq ({snd.next_seq})",
+            )
+        if snd.stats.retransmissions > snd.stats.packets_sent:
+            fail(
+                "flow.retransmissions",
+                f"retransmissions ({snd.stats.retransmissions}) exceed "
+                f"packets_sent ({snd.stats.packets_sent})",
+            )
+        if snd.stats.bytes_sent != snd.stats.packets_sent * snd.packet_size:
+            fail(
+                "flow.bytes",
+                f"bytes_sent ({snd.stats.bytes_sent}) != packets_sent "
+                f"({snd.stats.packets_sent}) * packet_size ({snd.packet_size})",
+            )
+
+        if self.sink is not None:
+            unique_sent = snd.stats.packets_sent - snd.stats.retransmissions
+            delivered = self.sink.stats.packets_received
+            if delivered > unique_sent:
+                fail(
+                    "flow.delivery",
+                    f"unique deliveries ({delivered}) exceed unique sends ({unique_sent})",
+                )
+            arrived = getattr(self.sink, "packets_arrived", None)
+            if arrived is not None:
+                if delivered > arrived:
+                    fail(
+                        "flow.sink",
+                        f"deduped deliveries ({delivered}) exceed raw arrivals ({arrived})",
+                    )
+                dropped = self.dropped_packets()
+                if arrived + dropped > snd.stats.packets_sent:
+                    fail(
+                        "flow.conservation",
+                        f"arrived ({arrived}) + dropped ({dropped}) > "
+                        f"sent ({snd.stats.packets_sent})",
+                    )
+                if idle and self.traces_complete and arrived + dropped != snd.stats.packets_sent:
+                    fail(
+                        "flow.conservation",
+                        f"with the event loop drained, arrived ({arrived}) + dropped "
+                        f"({dropped}) != sent ({snd.stats.packets_sent})",
+                    )
+        return snap
+
+
+#: Occupancy histogram resolution: fractions of queue capacity.
+_OCCUPANCY_EDGES = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0 + 1e-9)
+
+
+class InvariantChecker:
+    """Runs conservation checks over registered queues, links, and flows.
+
+    Checks run on demand (:meth:`check_all`), periodically in sim time
+    (:meth:`attach`), and at teardown (:meth:`final_check`).  With a
+    :class:`~repro.obs.metrics.MetricsRegistry` attached, each sweep also
+    samples queue occupancy into a histogram and counts checks/violations.
+    """
+
+    def __init__(self, registry: Optional["MetricsRegistry"] = None):
+        self.registry = registry
+        self.queues: list["Queue"] = []
+        self.links: list["Link"] = []
+        self.flows: list[FlowBinding] = []
+        self.checks_run = 0
+        self.violations = 0
+        self.last_check_time: Optional[float] = None
+        if registry is not None:
+            registry.gauge("invariants.checks_run", fn=lambda: self.checks_run)
+            registry.gauge("invariants.violations", fn=lambda: self.violations)
+
+    # -- registration ---------------------------------------------------
+    def add_queue(self, q: "Queue") -> None:
+        """Track a queue (idempotent)."""
+        if q not in self.queues:
+            self.queues.append(q)
+
+    def add_link(self, link: "Link") -> None:
+        """Track a link and its attached queue (idempotent)."""
+        if link not in self.links:
+            self.links.append(link)
+        self.add_queue(link.queue)
+
+    def add_flow(
+        self,
+        sender,
+        sink=None,
+        drop_traces: Iterable = (),
+        traces_complete: bool = False,
+        name: Optional[str] = None,
+    ) -> FlowBinding:
+        """Track a sender (optionally bound to its sink and drop traces)."""
+        binding = FlowBinding(
+            sender, sink=sink, drop_traces=drop_traces,
+            traces_complete=traces_complete, name=name,
+        )
+        self.flows.append(binding)
+        return binding
+
+    # -- checking -------------------------------------------------------
+    def check_all(self, now: float = 0.0, idle: bool = False) -> int:
+        """Run every registered check; returns the number of identities
+        verified.  Raises :class:`InvariantViolation` on the first failure.
+        """
+        verified = 0
+        try:
+            for q in self.queues:
+                check_queue(q, now)
+                verified += 1
+                self._sample_occupancy(q)
+            for link in self.links:
+                check_link(link, now)
+                verified += 1
+            for binding in self.flows:
+                binding.check(now, idle=idle)
+                verified += 1
+        except InvariantViolation:
+            self.violations += 1
+            raise
+        finally:
+            self.checks_run += 1
+            self.last_check_time = now
+        return verified
+
+    def _sample_occupancy(self, q: "Queue") -> None:
+        if self.registry is None or q.capacity <= 0:
+            return
+        h = self.registry.histogram(
+            f"queue.{q.name}.occupancy_fraction", _OCCUPANCY_EDGES
+        )
+        h.observe(len(q) / q.capacity)
+
+    # -- scheduling -----------------------------------------------------
+    def attach(self, sim: "Simulator", interval: float) -> None:
+        """Check every ``interval`` sim-seconds while the sim has work.
+
+        The periodic event re-arms itself only while other events are
+        pending, so it never keeps an otherwise-finished run alive.
+        """
+        if interval <= 0:
+            raise ValueError(f"check interval must be positive, got {interval}")
+        sim.schedule(interval, self._periodic, sim, interval)
+
+    def _periodic(self, sim: "Simulator", interval: float) -> None:
+        self.check_all(now=sim.now, idle=False)
+        if sim.pending > 0:
+            sim.schedule(interval, self._periodic, sim, interval)
+
+    def final_check(self, sim: Optional["Simulator"] = None) -> int:
+        """Teardown sweep; flow equality applies if the loop has drained."""
+        now = sim.now if sim is not None else 0.0
+        idle = sim is not None and sim.pending == 0
+        return self.check_all(now=now, idle=idle)
+
+    # -- export ---------------------------------------------------------
+    def snapshots(self) -> dict:
+        """Structured snapshot of everything tracked (for the metrics JSON)."""
+        return {
+            "queues": {q.name: _queue_snapshot(q) for q in self.queues},
+            "links": {l.name: _link_snapshot(l) for l in self.links},
+            "flows": {b.name: b.snapshot() for b in self.flows},
+            "checks_run": self.checks_run,
+            "violations": self.violations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<InvariantChecker {len(self.queues)}q/{len(self.links)}l/"
+            f"{len(self.flows)}f checks={self.checks_run}>"
+        )

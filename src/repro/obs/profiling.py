@@ -1,0 +1,139 @@
+"""Event-loop profiling for the discrete-event engine.
+
+``Simulator.profile()`` installs an :class:`EventLoopProfile` for the
+duration of a ``with`` block; while installed, the run loop reports every
+executed callback (with its wall-clock duration), every cancelled event it
+discards, and the heap size, so a finished profile answers the questions
+that matter for paper-scale runs: events/sec, where the time goes
+per callback type, and how much of the heap is dead (cancelled) weight.
+
+The profile is plain data — it never touches the engine, so importing
+this module from :mod:`repro.sim.engine` lazily keeps the dependency
+one-way (engine -> obs only inside ``profile()``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["EventLoopProfile", "callback_name"]
+
+
+def callback_name(fn: Callable) -> str:
+    """Stable, human-readable label for an event callback."""
+    name = getattr(fn, "__qualname__", None)
+    if name is None:  # partials, callables without introspection
+        name = type(fn).__name__
+    return name
+
+
+class CallbackStats:
+    """Aggregate count and wall time of one callback type."""
+
+    __slots__ = ("count", "total_time")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_time = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary of this callback type."""
+        return {
+            "count": self.count,
+            "total_time_s": self.total_time,
+            "mean_time_us": (self.total_time / self.count * 1e6) if self.count else 0.0,
+        }
+
+
+class EventLoopProfile:
+    """Statistics captured while installed on a :class:`Simulator`.
+
+    Populated by the engine's run loop; read after the ``with`` block via
+    the properties or :meth:`as_dict`.
+    """
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.cancelled_popped = 0
+        self.max_heap_size = 0
+        self.callbacks: dict[str, CallbackStats] = {}
+        self.wall_start: Optional[float] = None
+        self.wall_time = 0.0
+        self.sim_start = 0.0
+        self.sim_end = 0.0
+        self.compactions = 0
+        self._compactions_at_start = 0
+
+    # -- engine-facing hooks (hot path) ---------------------------------
+    def record_event(self, fn: Callable, duration: float, heap_size: int) -> None:
+        """Account one executed callback."""
+        self.events += 1
+        if heap_size > self.max_heap_size:
+            self.max_heap_size = heap_size
+        name = callback_name(fn)
+        stats = self.callbacks.get(name)
+        if stats is None:
+            stats = CallbackStats()
+            self.callbacks[name] = stats
+        stats.count += 1
+        stats.total_time += duration
+
+    def record_cancelled_pop(self) -> None:
+        """Account one cancelled event discarded by the run loop."""
+        self.cancelled_popped += 1
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self, sim) -> None:
+        """Begin the capture window (called by ``Simulator.profile()``)."""
+        self.wall_start = time.perf_counter()
+        self.sim_start = sim.now
+        self._compactions_at_start = sim.compactions
+
+    def stop(self, sim) -> None:
+        """Close the capture window and freeze derived totals."""
+        if self.wall_start is not None:
+            self.wall_time += time.perf_counter() - self.wall_start
+            self.wall_start = None
+        self.sim_end = sim.now
+        self.compactions = sim.compactions - self._compactions_at_start
+
+    # -- derived --------------------------------------------------------
+    @property
+    def events_per_sec(self) -> float:
+        """Executed events per wall-clock second (0 before any capture)."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.events / self.wall_time
+
+    @property
+    def cancelled_ratio(self) -> float:
+        """Fraction of popped events that were cancelled corpses."""
+        popped = self.events + self.cancelled_popped
+        if popped == 0:
+            return 0.0
+        return self.cancelled_popped / popped
+
+    def as_dict(self, top: int = 20) -> dict:
+        """JSON-ready profile; callbacks sorted by total time, top ``top``."""
+        ranked = sorted(
+            self.callbacks.items(), key=lambda kv: kv[1].total_time, reverse=True
+        )
+        return {
+            "events": self.events,
+            "wall_time_s": self.wall_time,
+            "events_per_sec": self.events_per_sec,
+            "sim_time_advanced_s": self.sim_end - self.sim_start,
+            "cancelled_popped": self.cancelled_popped,
+            "cancelled_ratio": self.cancelled_ratio,
+            "max_heap_size": self.max_heap_size,
+            "heap_compactions": self.compactions,
+            "callbacks": {name: cs.as_dict() for name, cs in ranked[:top]},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<EventLoopProfile events={self.events} "
+            f"rate={self.events_per_sec:.0f}/s "
+            f"cancelled_ratio={self.cancelled_ratio:.3f}>"
+        )

@@ -1,0 +1,215 @@
+"""Run-level observability wiring for experiment drivers and the CLI.
+
+:func:`observe_run` is the one-line hook experiment drivers call after
+building their scenario: it resolves the observability configuration
+(explicit arguments > environment), attaches a
+:class:`~repro.obs.metrics.MetricsRegistry` to the simulator / links /
+queues / flows, arms periodic conservation checks, and hands back a
+:class:`RunObservation` whose ``profiled()`` context wraps the
+``sim.run`` call and whose ``finalize()`` performs the teardown invariant
+sweep and writes the metrics JSON next to the run's results.
+
+Environment variables (set by ``repro.cli``'s ``--metrics-out`` /
+``--check-invariants`` flags, or directly):
+
+``REPRO_METRICS_OUT``
+    Path to write the metrics JSON to (empty/unset: no file).
+``REPRO_CHECK_INVARIANTS``
+    Truthy ("1"/"true"/"yes"/"on") to verify conservation invariants
+    periodically and at teardown.
+``REPRO_CHECK_INTERVAL``
+    Sim-seconds between periodic sweeps (default 1.0).
+
+When neither knob is on, :func:`observe_run` returns a disabled
+observation whose every method is a cheap no-op, so instrumented drivers
+cost nothing by default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from repro.obs.invariants import InvariantChecker
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.topology import Dumbbell
+
+__all__ = ["observation_config", "observe_run", "RunObservation"]
+
+ENV_METRICS_OUT = "REPRO_METRICS_OUT"
+ENV_CHECK_INVARIANTS = "REPRO_CHECK_INVARIANTS"
+ENV_CHECK_INTERVAL = "REPRO_CHECK_INTERVAL"
+
+#: Default sim-time spacing of periodic conservation sweeps (seconds).
+DEFAULT_CHECK_INTERVAL = 1.0
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def observation_config() -> tuple[Optional[str], bool, float]:
+    """Resolve ``(metrics_out, check_invariants, check_interval)`` from the
+    environment (the CLI flags set these variables)."""
+    out = os.environ.get(ENV_METRICS_OUT) or None
+    check = os.environ.get(ENV_CHECK_INVARIANTS, "").strip().lower() in _TRUTHY
+    interval = float(os.environ.get(ENV_CHECK_INTERVAL, DEFAULT_CHECK_INTERVAL))
+    return out, check, interval
+
+
+class RunObservation:
+    """Handle tying one experiment run to its metrics/invariants/profile.
+
+    Disabled instances (``enabled=False``) are inert: ``profiled()`` is a
+    null context and ``finalize()`` returns ``None`` — drivers call both
+    unconditionally.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str = "run",
+        registry: Optional[MetricsRegistry] = None,
+        checker: Optional[InvariantChecker] = None,
+        metrics_path: Optional[Union[str, Path]] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.registry = registry
+        self.checker = checker
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.enabled = registry is not None
+        self.profile_stats: Optional[dict] = None
+        self._duration_links: list = []
+
+    # -- wiring ---------------------------------------------------------
+    def watch_link(self, link) -> None:
+        """Track a link's metrics and conservation (no-op when disabled)."""
+        if not self.enabled:
+            return
+        assert self.registry is not None
+        link.attach_metrics(self.registry)
+        self._duration_links.append(link)
+        if self.checker is not None:
+            self.checker.add_link(link)
+
+    def watch_flow(self, sender, sink=None, drop_traces: Iterable = (),
+                   traces_complete: bool = False) -> None:
+        """Track a TCP flow's metrics and conservation (no-op when disabled)."""
+        if not self.enabled:
+            return
+        assert self.registry is not None
+        sender.attach_metrics(self.registry)
+        if self.checker is not None:
+            self.checker.add_flow(
+                sender, sink=sink, drop_traces=drop_traces,
+                traces_complete=traces_complete,
+            )
+
+    # -- execution ------------------------------------------------------
+    def profiled(self):
+        """Context manager for the run's main ``sim.run`` call: captures
+        event-loop statistics into the metrics export when enabled."""
+        if not self.enabled:
+            return contextlib.nullcontext()
+        return self._profiled_impl()
+
+    @contextlib.contextmanager
+    def _profiled_impl(self):
+        prof = None
+        try:
+            with self.sim.profile() as prof:
+                yield prof
+        finally:
+            # Snapshot only after sim.profile() has closed the capture
+            # window, so wall-time-derived stats (events/sec) are final.
+            if prof is not None:
+                self.profile_stats = prof.as_dict()
+
+    def finalize(self, duration: Optional[float] = None) -> Optional[dict]:
+        """Teardown: final invariant sweep, utilization gauges, JSON write.
+
+        Raises :class:`~repro.obs.InvariantViolation` if a conservation
+        identity fails.  Returns the exported metrics dict (``None`` when
+        disabled).
+        """
+        if not self.enabled:
+            return None
+        assert self.registry is not None
+        if duration is not None and duration > 0:
+            for link in self._duration_links:
+                self.registry.gauge(f"link.{link.name}.utilization").set(
+                    link.utilization(duration)
+                )
+        if self.checker is not None:
+            self.checker.final_check(self.sim)
+            self.registry.sections["invariants"] = self.checker.snapshots()
+        if self.profile_stats is not None:
+            self.registry.sections["event_loop"] = self.profile_stats
+        data = self.registry.as_dict()
+        if self.metrics_path is not None:
+            self.registry.write_json(self.metrics_path)
+        return data
+
+
+def observe_run(
+    sim: "Simulator",
+    db: Optional["Dumbbell"] = None,
+    name: str = "run",
+    flows: Iterable[tuple] = (),
+    metrics_out: Optional[Union[str, Path]] = None,
+    check_invariants: Optional[bool] = None,
+    check_interval: Optional[float] = None,
+) -> RunObservation:
+    """Wire observability into one experiment run.
+
+    Call after the scenario is fully built (topology, flows) and before
+    ``sim.run``.  ``flows`` is an iterable of ``(sender, sink)`` pairs;
+    with a dumbbell they are bound to the forward bottleneck drop trace,
+    making their teardown conservation check exact.  Arguments left at
+    ``None`` fall back to the environment (see module docstring); when
+    everything is off, the returned observation is disabled and free.
+    """
+    env_out, env_check, env_interval = observation_config()
+    if metrics_out is None:
+        metrics_out = env_out
+    if check_invariants is None:
+        check_invariants = env_check
+    if check_interval is None:
+        check_interval = env_interval
+
+    if not metrics_out and not check_invariants:
+        return RunObservation(sim, name=name)
+
+    registry = MetricsRegistry(name)
+    sim.attach_metrics(registry)
+    checker = InvariantChecker(registry) if check_invariants else None
+    obs = RunObservation(
+        sim, name=name, registry=registry, checker=checker, metrics_path=metrics_out
+    )
+
+    if db is not None:
+        obs.watch_link(db.bottleneck_fwd)
+        obs.watch_link(db.bottleneck_rev)
+        if checker is not None:
+            for pair in db.pairs:
+                for link in pair.links:
+                    checker.add_link(link)
+        for sender, sink in flows:
+            obs.watch_flow(
+                sender, sink=sink,
+                drop_traces=(db.drop_trace,),
+                # The forward bottleneck is the only finite buffer on the
+                # data path, so its trace covers every possible data drop.
+                traces_complete=True,
+            )
+    else:
+        for sender, sink in flows:
+            obs.watch_flow(sender, sink=sink)
+
+    if checker is not None and check_interval and check_interval > 0:
+        checker.attach(sim, check_interval)
+    return obs

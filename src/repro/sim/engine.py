@@ -9,12 +9,22 @@ number breaks ties), and all randomness lives in named RNG streams
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import itertools
 import math
-from typing import Any, Callable, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.profiling import EventLoopProfile
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+#: Compaction is skipped below this heap size: rebuilding a tiny heap
+#: costs more bookkeeping than the cancelled corpses ever will.
+COMPACT_MIN_HEAP = 64
 
 
 class SimulationError(RuntimeError):
@@ -26,10 +36,11 @@ class Event:
 
     Returned by :meth:`Simulator.schedule`; the only public operation is
     :meth:`cancel`, which is O(1) (the heap entry is left in place and
-    skipped when popped).
+    skipped when popped, though the owning simulator compacts the heap
+    once cancelled corpses outnumber live events).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "owner")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -37,13 +48,20 @@ class Event:
         self.fn: Optional[Callable[..., Any]] = fn
         self.args = args
         self.cancelled = False
+        # Owning simulator while the event sits in its heap; cleared on pop
+        # so late cancels do not skew the in-heap cancellation count.
+        self.owner: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled timers do not pin packets/agents.
         self.fn = None
         self.args = ()
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -73,6 +91,24 @@ class Simulator:
         self.now: float = 0.0
         self.events_processed: int = 0
         self._running = False
+        # Cancelled events still sitting in the heap; kept exact so
+        # ``pending`` is O(1) and compaction triggers deterministically.
+        self._cancelled = 0
+        self.compactions = 0
+        self._profiler: Optional["EventLoopProfile"] = None
+        self.metrics: Optional["MetricsRegistry"] = None
+        # Per-simulator id sequences (e.g. auto-generated link names), so
+        # back-to-back simulations in one process name components
+        # deterministically regardless of what ran before.
+        self._id_counters: dict[str, Iterator[int]] = {}
+
+    def next_id(self, kind: str) -> int:
+        """Next id in this simulator's ``kind`` sequence (1-based)."""
+        counter = self._id_counters.get(kind)
+        if counter is None:
+            counter = itertools.count(1)
+            self._id_counters[kind] = counter
+        return next(counter)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -90,8 +126,32 @@ class Simulator:
                 f"cannot schedule in the past: t={time:.9f} < now={self.now:.9f}"
             )
         ev = Event(time, next(self._seq), fn, args)
+        ev.owner = self
         heapq.heappush(self._heap, ev)
         return ev
+
+    # ------------------------------------------------------------------
+    # cancelled-event bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for events still in the heap."""
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= COMPACT_MIN_HEAP and self._cancelled * 2 > len(heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled corpses and re-heapify, in place.
+
+        In place matters: the run loop holds a local alias of the heap
+        list, and compaction can fire from inside a callback (a retransmit
+        timer cancelling en masse).
+        """
+        heap = self._heap
+        heap[:] = [ev for ev in heap if not ev.cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -114,13 +174,23 @@ class Simulator:
                 if ev.time > until:
                     break
                 heapq.heappop(heap)
+                ev.owner = None
                 if ev.cancelled:
+                    self._cancelled -= 1
+                    if self._profiler is not None:
+                        self._profiler.record_cancelled_pop()
                     continue
                 self.now = ev.time
                 fn, args = ev.fn, ev.args
                 ev.fn, ev.args = None, ()  # release references
                 assert fn is not None
-                fn(*args)
+                prof = self._profiler
+                if prof is None:
+                    fn(*args)
+                else:
+                    t0 = perf_counter()
+                    fn(*args)
+                    prof.record_event(fn, perf_counter() - t0, len(heap))
                 self.events_processed += 1
                 budget -= 1
             if math.isfinite(until) and self.now < until and not (heap and budget <= 0):
@@ -133,7 +203,9 @@ class Simulator:
         heap = self._heap
         while heap:
             ev = heapq.heappop(heap)
+            ev.owner = None
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = ev.time
             fn, args = ev.fn, ev.args
@@ -148,13 +220,56 @@ class Simulator:
         """Timestamp of the next pending event, or ``inf`` when idle."""
         heap = self._heap
         while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+            heapq.heappop(heap).owner = None
+            self._cancelled -= 1
         return heap[0].time if heap else math.inf
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events in the queue.  O(1)."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def cancelled_ratio(self) -> float:
+        """Fraction of the heap occupied by cancelled corpses."""
+        if not self._heap:
+            return 0.0
+        return self._cancelled / len(self._heap)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def profile(self) -> Iterator["EventLoopProfile"]:
+        """Profile the event loop for the duration of a ``with`` block.
+
+        Yields an :class:`~repro.obs.profiling.EventLoopProfile` that fills
+        with events/sec, heap size, cancelled-event ratio, and per-callback
+        timing while any ``run``/``step`` executes inside the block.
+        Nestable; the previous profiler (if any) is restored on exit.
+        """
+        from repro.obs.profiling import EventLoopProfile
+
+        prof = EventLoopProfile()
+        previous = self._profiler
+        self._profiler = prof
+        prof.start(self)
+        try:
+            yield prof
+        finally:
+            prof.stop(self)
+            self._profiler = previous
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Expose live engine state as callback gauges in ``registry``."""
+        self.metrics = registry
+        registry.gauge("engine.events_processed", fn=lambda: self.events_processed)
+        registry.gauge("engine.heap_size", fn=lambda: len(self._heap))
+        registry.gauge("engine.pending", fn=lambda: self.pending)
+        registry.gauge("engine.cancelled_in_heap", fn=lambda: self._cancelled)
+        registry.gauge("engine.cancelled_ratio", fn=lambda: self.cancelled_ratio)
+        registry.gauge("engine.compactions", fn=lambda: self.compactions)
+        registry.gauge("engine.sim_time", fn=lambda: self.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Simulator now={self.now:.6f} pending={len(self._heap)}>"
+        return f"<Simulator now={self.now:.6f} pending={self.pending}>"

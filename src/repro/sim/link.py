@@ -19,6 +19,7 @@ from repro.sim.queues import DropTailQueue, EnqueueResult, Queue
 from repro.sim.trace import ArrivalTrace, DropTrace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.sim.engine import Simulator
     from repro.sim.node import Node
 
@@ -45,8 +46,6 @@ class Link:
         Optional instrumentation shared across links.
     """
 
-    _ids = 0
-
     def __init__(
         self,
         sim: "Simulator",
@@ -62,8 +61,9 @@ class Link:
             raise ValueError(f"link rate must be positive, got {rate_bps}")
         if delay < 0:
             raise ValueError(f"link delay must be non-negative, got {delay}")
-        Link._ids += 1
-        self.name = name if name is not None else f"link{Link._ids}"
+        # Auto-generated names draw from a per-simulator sequence so
+        # back-to-back runs in one process get identical metric/trace keys.
+        self.name = name if name is not None else f"link{sim.next_id('link')}"
         self.sim = sim
         self.dst = dst
         self.rate_bps = float(rate_bps)
@@ -72,10 +72,14 @@ class Link:
         self.drop_trace = drop_trace
         self.arrival_trace = arrival_trace
         self.busy = False
-        # Accounting
+        # Accounting: offered == forwarded + transmitting + queued + dropped
+        # (the conservation identity repro.obs.invariants.check_link verifies).
+        self.packets_offered = 0
         self.bytes_forwarded = 0
         self.packets_forwarded = 0
         self.busy_time = 0.0
+        self.utilization_overruns = 0
+        self.registry: Optional["MetricsRegistry"] = None
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> EnqueueResult:
@@ -86,6 +90,7 @@ class Link:
         which may drop or ECN-mark it.
         """
         now = self.sim.now
+        self.packets_offered += 1
         if self.arrival_trace is not None:
             self.arrival_trace.record(pkt, now)
         if not self.busy and not self.queue:
@@ -119,10 +124,38 @@ class Link:
 
     # ------------------------------------------------------------------
     def utilization(self, duration: float) -> float:
-        """Fraction of ``duration`` the transmitter was busy."""
+        """Fraction of ``duration`` the transmitter was busy.
+
+        Returns the *raw* busy-time ratio.  A value above 1.0 means the
+        link's busy-time accounting over-counted — a conservation bug the
+        invariant layer should surface, never something to clamp away —
+        so overruns are counted and reported as a metrics warning.  (Busy
+        time is booked at transmission start, so a run cut off mid-packet
+        can legitimately read one packet's tx time above 1.0; anything
+        beyond that is an accounting error.)
+        """
         if duration <= 0:
             raise ValueError("duration must be positive")
-        return min(1.0, self.busy_time / duration)
+        ratio = self.busy_time / duration
+        if ratio > 1.0:
+            self.utilization_overruns += 1
+            if self.registry is not None:
+                self.registry.counter(f"link.{self.name}.utilization_overruns").inc()
+                self.registry.warn(
+                    f"link {self.name}: utilization {ratio:.6f} exceeds 1.0 over "
+                    f"{duration:.6f}s (busy_time={self.busy_time:.6f}s)"
+                )
+        return ratio
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Expose live link accounting as callback gauges in ``registry``."""
+        self.registry = registry
+        prefix = f"link.{self.name}"
+        registry.gauge(f"{prefix}.packets_offered", fn=lambda: self.packets_offered)
+        registry.gauge(f"{prefix}.packets_forwarded", fn=lambda: self.packets_forwarded)
+        registry.gauge(f"{prefix}.bytes_forwarded", fn=lambda: self.bytes_forwarded)
+        registry.gauge(f"{prefix}.busy_time", fn=lambda: self.busy_time)
+        self.queue.attach_metrics(registry)
 
     def tx_time(self, size_bytes: int) -> float:
         """Transmission time for a packet of ``size_bytes``."""

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.sim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["EnqueueResult", "Queue", "DropTailQueue", "REDQueue", "REDParams"]
 
@@ -101,6 +104,31 @@ class Queue:
         self._q.append(pkt)
         self.bytes += pkt.size
         self.enqueued += 1
+
+    # -- observability ----------------------------------------------------
+    def conservation_residuals(self) -> dict[str, int]:
+        """Deviation of each conservation identity from zero.
+
+        All-zero residuals mean the counters balance; any non-zero entry is
+        an accounting bug (:func:`repro.obs.invariants.check_queue` raises
+        on it with a full snapshot).
+        """
+        return {
+            "arrival": self.arrived - self.enqueued - self.dropped,
+            "occupancy": self.enqueued - self.dequeued - len(self._q),
+        }
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Expose live conservation counters as callback gauges in
+        ``registry`` under ``queue.<name>.*``."""
+        prefix = f"queue.{self.name}"
+        registry.gauge(f"{prefix}.arrived", fn=lambda: self.arrived)
+        registry.gauge(f"{prefix}.enqueued", fn=lambda: self.enqueued)
+        registry.gauge(f"{prefix}.dequeued", fn=lambda: self.dequeued)
+        registry.gauge(f"{prefix}.dropped", fn=lambda: self.dropped)
+        registry.gauge(f"{prefix}.marked", fn=lambda: self.marked)
+        registry.gauge(f"{prefix}.occupancy", fn=lambda: len(self._q))
+        registry.gauge(f"{prefix}.bytes", fn=lambda: self.bytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

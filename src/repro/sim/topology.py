@@ -165,13 +165,16 @@ class Dumbbell:
 
     def conservation_ok(self) -> bool:
         """Bottleneck packet conservation: arrived == enqueued + dropped and
-        enqueued == dequeued + queued, in both directions."""
-        for q in (self.forward_queue, self.reverse_queue):
-            if q.arrived != q.enqueued + q.dropped:
-                return False
-            if q.enqueued != q.dequeued + len(q):
-                return False
-        return True
+        enqueued == dequeued + queued, in both directions.
+
+        Boolean convenience; :class:`repro.obs.InvariantChecker` raises a
+        diagnostic :class:`~repro.obs.InvariantViolation` instead.
+        """
+        return not any(
+            residual
+            for q in (self.forward_queue, self.reverse_queue)
+            for residual in q.conservation_residuals().values()
+        )
 
 
 def build_dumbbell(sim: Simulator, config: Optional[DumbbellConfig] = None) -> Dumbbell:

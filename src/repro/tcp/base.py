@@ -17,9 +17,12 @@ of ``on_*`` hooks.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.sim.engine import Event, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 from repro.sim.node import Host
 from repro.sim.packet import ACK, DATA, Packet
 from repro.sim.trace import FlowStats
@@ -379,6 +382,21 @@ class TcpSender:
             self._rto_timer = None
         if self.on_complete is not None:
             self.on_complete(self.sim.now)
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Expose live flow accounting as callback gauges in ``registry``
+        under ``flow.<id>.*`` (the counters the per-flow conservation
+        checks in :mod:`repro.obs.invariants` verify)."""
+        prefix = f"flow.{self.flow_id}"
+        registry.gauge(f"{prefix}.packets_sent", fn=lambda: self.stats.packets_sent)
+        registry.gauge(f"{prefix}.bytes_sent", fn=lambda: self.stats.bytes_sent)
+        registry.gauge(
+            f"{prefix}.retransmissions", fn=lambda: self.stats.retransmissions
+        )
+        registry.gauge(f"{prefix}.timeouts", fn=lambda: self.stats.timeouts)
+        registry.gauge(f"{prefix}.inflight", fn=lambda: self.inflight)
+        registry.gauge(f"{prefix}.cwnd", fn=lambda: self.cwnd)
+        registry.gauge(f"{prefix}.highest_acked", fn=lambda: self.highest_acked)
 
     def rtt_estimate(self) -> float:
         """Current smoothed RTT (falls back to the latest sample or RTO)."""

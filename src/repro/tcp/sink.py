@@ -57,6 +57,11 @@ class TcpSink:
         self.next_expected = 0
         self._out_of_order: set[int] = set()
         self._delivered: set[int] = set()  # dedupe for byte accounting
+        # Raw wire arrivals (duplicates included): the receiver-side term of
+        # the per-flow conservation identity sent == arrived + dropped that
+        # repro.obs.invariants verifies (stats.packets_received is deduped).
+        self.packets_arrived = 0
+        self.bytes_arrived = 0
         self.stats = FlowStats(flow_id)
         self.throughput = throughput
         self.on_data = on_data
@@ -75,6 +80,8 @@ class TcpSink:
         if pkt.kind != DATA:
             return
         now = self.sim.now
+        self.packets_arrived += 1
+        self.bytes_arrived += pkt.size
         if self.delay_trace is not None:
             self.delay_trace.record(pkt, now)
         if pkt.seq >= self.next_expected and pkt.seq not in self._delivered:

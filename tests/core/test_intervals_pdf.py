@@ -70,9 +70,36 @@ class TestIntervalPdf:
     def test_fraction_below_snaps_to_bin_edges(self):
         x = np.array([0.005, 0.015, 0.5])
         pdf = interval_pdf(x)
-        # 0.01 snaps up to the first full bin edge 0.02
-        assert pdf.fraction_below(0.01) == pytest.approx(2 / 3)
+        # Only whole bins strictly below x count: 0.01 is inside the first
+        # bin [0, 0.02), so no bin lies entirely below it.
+        assert pdf.fraction_below(0.01) == pytest.approx(0.0)
+        assert pdf.fraction_below(0.02) == pytest.approx(2 / 3)
         assert pdf.fraction_below(1.0) == pytest.approx(1.0)
+
+    def test_fraction_below_matches_empirical_fraction(self):
+        """fraction_below(x) == np.mean(intervals < x) whenever the data
+        never lands inside the partial bin that x truncates."""
+        intervals = np.array([0.005, 0.015, 0.033, 0.05, 1.5])
+        pdf = interval_pdf(intervals)
+        # Bin-edge thresholds: exact by construction.
+        for x in (0.02, 0.04, 0.06, 1.0, 2.0):
+            assert pdf.fraction_below(x) == pytest.approx(
+                float(np.mean(intervals < x))
+            ), f"x={x}"
+        # Mid-bin threshold 0.03: no interval lies in [0.02, 0.03), so the
+        # floor-snapped answer still matches the empirical fraction.
+        assert pdf.fraction_below(0.03) == pytest.approx(
+            float(np.mean(intervals < 0.03))
+        )
+
+    def test_fraction_below_never_overcounts(self):
+        """Floor semantics: the binned answer is a lower bound on the
+        empirical fraction for every threshold."""
+        rng = np.random.default_rng(7)
+        intervals = rng.exponential(0.3, size=2000)
+        pdf = interval_pdf(intervals)
+        for x in (0.01, 0.03, 0.25, 0.999, 1.37):
+            assert pdf.fraction_below(x) <= np.mean(intervals < x) + 1e-12
 
     def test_sub_bin_threshold_uses_finer_binning(self):
         # For the paper's "< 0.01 RTT" statistic use bin_size=0.01.

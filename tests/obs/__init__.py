@@ -1,0 +1,1 @@
+"""Unit tests for the observability layer (metrics, invariants, profiling)."""

@@ -1,0 +1,92 @@
+"""Unit tests for event-loop profiling via ``Simulator.profile()``."""
+
+import functools
+
+import pytest
+
+from repro.obs.profiling import EventLoopProfile, callback_name
+from repro.sim.engine import Simulator
+
+
+def tick():
+    pass
+
+
+class TestCallbackName:
+    def test_uses_qualname(self):
+        assert callback_name(tick) == "tick"
+        assert "TestCallbackName" in callback_name(self.test_uses_qualname)
+
+    def test_falls_back_to_type_name(self):
+        assert callback_name(functools.partial(tick)) == "partial"
+
+
+class TestProfileContext:
+    def test_captures_events_and_callbacks(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(0.1 * (i + 1), tick)
+        with sim.profile() as prof:
+            sim.run()
+        assert prof.events == 5
+        assert prof.callbacks["tick"].count == 5
+        assert prof.callbacks["tick"].total_time >= 0.0
+        assert prof.events_per_sec > 0
+        assert prof.sim_end - prof.sim_start == pytest.approx(0.5)
+        assert prof.max_heap_size >= 1
+
+    def test_counts_cancelled_pops(self):
+        sim = Simulator()
+        handles = [sim.schedule(0.1 * (i + 1), tick) for i in range(10)]
+        for h in handles[:4]:  # stay under the compaction threshold
+            h.cancel()
+        with sim.profile() as prof:
+            sim.run()
+        assert prof.events == 6
+        assert prof.cancelled_popped == 4
+        assert prof.cancelled_ratio == pytest.approx(0.4)
+
+    def test_profiler_uninstalled_after_block(self):
+        sim = Simulator()
+        with sim.profile():
+            pass
+        sim.schedule(1.0, tick)
+        sim.run()  # must not touch the (stopped) profiler
+        assert sim._profiler is None
+
+    def test_nested_profiles_restore_previous(self):
+        sim = Simulator()
+        with sim.profile() as outer:
+            sim.schedule(1.0, tick)
+            sim.run(until=1.0)
+            with sim.profile() as inner:
+                sim.schedule(1.0, tick)
+                sim.run()
+            sim.schedule(1.0, tick)
+            sim.run()
+        assert inner.events == 1
+        assert outer.events == 2  # inner's event not double-counted
+
+    def test_as_dict_ranks_callbacks_and_caps_top(self):
+        prof = EventLoopProfile()
+        prof.record_event(tick, 0.5, 3)
+        prof.record_event(len, 0.1, 2)
+        d = prof.as_dict(top=1)
+        assert list(d["callbacks"]) == ["tick"]
+        assert d["events"] == 2
+        assert d["max_heap_size"] == 3
+
+    def test_empty_profile_derived_stats(self):
+        prof = EventLoopProfile()
+        assert prof.events_per_sec == 0.0
+        assert prof.cancelled_ratio == 0.0
+
+    def test_compactions_delta_reported(self):
+        sim = Simulator()
+        with sim.profile() as prof:
+            handles = [sim.schedule(1.0, tick) for _ in range(200)]
+            for h in handles[:150]:
+                h.cancel()
+            sim.run()
+        assert prof.compactions >= 1
+        assert prof.as_dict()["heap_compactions"] == prof.compactions

@@ -1,0 +1,152 @@
+"""Tests for run-level observability wiring (env config, observe_run)."""
+
+import json
+
+import pytest
+
+from repro.obs import InvariantViolation, observation_config, observe_run
+from repro.obs.runtime import (
+    ENV_CHECK_INTERVAL,
+    ENV_CHECK_INVARIANTS,
+    ENV_METRICS_OUT,
+)
+from repro.sim import DumbbellConfig, Simulator, build_dumbbell
+from repro.tcp import NewRenoSender, TcpSink
+
+
+def build_scenario():
+    """Tiny dumbbell with one NewReno flow (sub-second to simulate)."""
+    sim = Simulator()
+    db = build_dumbbell(sim, DumbbellConfig(bottleneck_rate_bps=2e6, buffer_pkts=10))
+    pair = db.add_pair(rtt=0.05)
+    snd = NewRenoSender(sim, pair.left, 1, pair.right.node_id)
+    snd.start(0.0)
+    sink = TcpSink(sim, pair.right, 1, pair.left.node_id)
+    return sim, db, snd, sink
+
+
+class TestObservationConfig:
+    def test_defaults_off(self, monkeypatch):
+        for k in (ENV_METRICS_OUT, ENV_CHECK_INVARIANTS, ENV_CHECK_INTERVAL):
+            monkeypatch.delenv(k, raising=False)
+        out, check, interval = observation_config()
+        assert out is None
+        assert check is False
+        assert interval == 1.0
+
+    def test_env_resolution(self, monkeypatch):
+        monkeypatch.setenv(ENV_METRICS_OUT, "/tmp/m.json")
+        monkeypatch.setenv(ENV_CHECK_INVARIANTS, "TRUE")
+        monkeypatch.setenv(ENV_CHECK_INTERVAL, "0.25")
+        assert observation_config() == ("/tmp/m.json", True, 0.25)
+
+    def test_falsy_strings_are_off(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHECK_INVARIANTS, "0")
+        monkeypatch.setenv(ENV_METRICS_OUT, "")
+        out, check, _ = observation_config()
+        assert out is None
+        assert check is False
+
+
+class TestDisabledObservation:
+    def test_everything_is_inert(self, monkeypatch):
+        for k in (ENV_METRICS_OUT, ENV_CHECK_INVARIANTS):
+            monkeypatch.delenv(k, raising=False)
+        sim, db, snd, sink = build_scenario()
+        obs = observe_run(sim, db=db, flows=[(snd, sink)])
+        assert obs.enabled is False
+        with obs.profiled():
+            sim.run(until=0.2)
+        assert obs.finalize(duration=0.2) is None
+        assert sim.metrics is None  # nothing was attached
+
+
+class TestEnabledObservation:
+    def test_end_to_end_clean_run(self, tmp_path):
+        sim, db, snd, sink = build_scenario()
+        path = tmp_path / "m.json"
+        obs = observe_run(
+            sim, db=db, name="mini", flows=[(snd, sink)],
+            metrics_out=path, check_invariants=True, check_interval=0.1,
+        )
+        with obs.profiled():
+            sim.run(until=2.0)
+        data = obs.finalize(duration=2.0)
+        assert data is not None
+
+        # Metrics JSON written with the sections the issue requires.
+        on_disk = json.loads(path.read_text())
+        assert on_disk["name"] == "mini"
+        g = on_disk["gauges"]
+        assert g["engine.events_processed"] > 0
+        assert 0.0 < g["link.bottleneck.utilization"] <= 1.0
+        assert g["invariants.violations"] == 0
+        assert g["invariants.checks_run"] >= 10  # 0.1s cadence over 2s
+        inv = on_disk["invariants"]
+        assert "bottleneck" in inv["queues"]
+        assert "flow1" in inv["flows"]
+        assert inv["flows"]["flow1"]["packets_sent"] > 0
+        loop = on_disk["event_loop"]
+        assert loop["events"] > 0
+        assert loop["events_per_sec"] > 0
+        assert on_disk["warnings"] == []
+
+    def test_run_to_drain_gets_exact_flow_equality(self):
+        sim, db, snd, sink = build_scenario()
+        snd.total_packets = 200  # finite transfer so the loop drains
+        obs = observe_run(
+            sim, db=db, flows=[(snd, sink)], check_invariants=True,
+        )
+        with obs.profiled():
+            sim.run()
+        assert sim.pending == 0
+        data = obs.finalize(duration=sim.now)
+        flow = data["invariants"]["flows"]["flow1"]
+        # Drained loop + complete traces: conservation held exactly.
+        assert (
+            flow["sink_packets_arrived"] + flow["dropped"] == flow["packets_sent"]
+        )
+
+    def test_injected_fault_aborts_finalize(self):
+        sim, db, snd, sink = build_scenario()
+        obs = observe_run(
+            sim, db=db, flows=[(snd, sink)], check_invariants=True,
+            check_interval=10.0,  # keep periodic sweeps out of the way
+        )
+        with obs.profiled():
+            sim.run(until=0.5)
+        db.bottleneck_fwd.queue.dropped += 1  # inject an accounting error
+        with pytest.raises(InvariantViolation) as exc:
+            obs.finalize(duration=0.5)
+        assert exc.value.invariant == "queue.arrival"
+        assert exc.value.subject == "bottleneck"
+        assert exc.value.snapshot["arrived"] >= 0
+
+    def test_env_fallback_enables_checking(self, monkeypatch, tmp_path):
+        path = tmp_path / "env.json"
+        monkeypatch.setenv(ENV_CHECK_INVARIANTS, "1")
+        monkeypatch.setenv(ENV_METRICS_OUT, str(path))
+        monkeypatch.setenv(ENV_CHECK_INTERVAL, "0.5")
+        sim, db, snd, sink = build_scenario()
+        obs = observe_run(sim, db=db, flows=[(snd, sink)])
+        assert obs.enabled is True
+        assert obs.checker is not None
+        with obs.profiled():
+            sim.run(until=0.3)
+        obs.finalize(duration=0.3)
+        assert path.exists()
+
+    def test_metrics_only_run_skips_checker(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(ENV_CHECK_INVARIANTS, raising=False)
+        sim, db, snd, sink = build_scenario()
+        obs = observe_run(
+            sim, db=db, flows=[(snd, sink)],
+            metrics_out=tmp_path / "m.json", check_invariants=False,
+        )
+        assert obs.enabled is True
+        assert obs.checker is None
+        with obs.profiled():
+            sim.run(until=0.2)
+        data = obs.finalize(duration=0.2)
+        assert "invariants" not in data
+        assert "event_loop" in data

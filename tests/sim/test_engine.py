@@ -164,3 +164,95 @@ def test_reentrant_run_rejected():
 
     sim.schedule(1.0, nested)
     sim.run()
+
+
+class TestCancelledEventCompaction:
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        fired = []
+        keep = [sim.schedule(float(i), fired.append, i) for i in range(10)]
+        doomed = [sim.schedule(100.0, lambda: None) for _ in range(190)]
+        for ev in doomed:
+            ev.cancel()
+        # Corpses outnumbered live events past the size floor: compacted.
+        # (Compaction stops below the size floor, so a few corpses may
+        # linger — the point is the heap no longer scales with cancels.)
+        assert sim.compactions >= 1
+        assert len(sim._heap) < 64
+        assert sim.pending == 10
+        sim.run()
+        assert fired == list(range(10))
+        del keep
+
+    def test_small_heaps_are_never_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(20)]
+        for ev in handles:
+            ev.cancel()
+        assert sim.compactions == 0
+        assert sim.pending == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+    def test_compaction_from_inside_a_callback(self):
+        """The run loop's heap alias must survive an in-callback compaction."""
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(50.0, lambda: None) for _ in range(150)]
+
+        def cancel_all():
+            for ev in doomed:
+                ev.cancel()
+
+        sim.schedule(1.0, cancel_all)
+        for t in (2.0, 3.0):
+            sim.schedule(t, fired.append, t)
+        sim.run()
+        assert sim.compactions >= 1
+        assert fired == [2.0, 3.0]
+        assert sim.pending == 0
+
+    def test_cancel_after_pop_does_not_skew_pending(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        ev.cancel()  # already executed; must not count as an in-heap corpse
+        assert sim._cancelled == 0
+        assert sim.pending == 1
+
+    def test_cancelled_ratio(self):
+        sim = Simulator()
+        assert sim.cancelled_ratio == 0.0
+        handles = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        for ev in handles[:4]:
+            ev.cancel()
+        assert sim.cancelled_ratio == pytest.approx(0.4)
+
+    def test_pending_stays_exact_through_run_and_peek(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+        handles[0].cancel()
+        assert sim.peek_time() == 2.0  # pops the corpse
+        assert sim.pending == 7
+        sim.run(until=4.0)
+        assert sim.pending == 4
+
+
+def test_attach_metrics_exports_live_engine_gauges():
+    from repro.obs.metrics import MetricsRegistry
+
+    sim = Simulator()
+    reg = MetricsRegistry()
+    sim.attach_metrics(reg)
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    handles[-1].cancel()
+    g = reg.as_dict()["gauges"]
+    assert g["engine.pending"] == 3
+    assert g["engine.cancelled_in_heap"] == 1
+    assert g["engine.cancelled_ratio"] == pytest.approx(0.25)
+    sim.run()
+    g = reg.as_dict()["gauges"]
+    assert g["engine.events_processed"] == 3
+    assert g["engine.sim_time"] == 3.0
+    assert g["engine.heap_size"] == 0

@@ -154,3 +154,50 @@ def test_host_detach():
     host.detach(1)
     host.receive(mkpkt(flow=1))
     assert host.unclaimed_packets == 1
+
+
+def test_auto_link_names_are_stable_per_simulator():
+    """Auto-generated names restart at link1 for every new Simulator, so
+    back-to-back runs in one process key metrics/traces identically."""
+
+    def build_names():
+        sim = Simulator()
+        host = Host(sim)
+        return [Link(sim, host, rate_bps=1e6, delay=0.0).name for _ in range(3)]
+
+    first = build_names()
+    second = build_names()
+    assert first == ["link1", "link2", "link3"]
+    assert second == first
+
+
+def test_explicit_link_name_does_not_consume_an_id():
+    sim = Simulator()
+    host = Host(sim)
+    Link(sim, host, rate_bps=1e6, delay=0.0, name="bottleneck")
+    auto = Link(sim, host, rate_bps=1e6, delay=0.0)
+    assert auto.name == "link1"
+
+
+def test_utilization_returns_raw_ratio_and_warns_past_one():
+    from repro.obs.metrics import MetricsRegistry
+
+    sim = Simulator()
+    host = Host(sim)
+    host.attach(1, Collector(sim))
+    link = Link(sim, host, rate_bps=8e6, delay=0.0)
+    for i in range(4):
+        link.send(mkpkt(seq=i))  # 4 x 1ms of busy time
+    sim.run()
+    reg = MetricsRegistry()
+    link.attach_metrics(reg)
+    # Honest ratio below 1.0: no warning.
+    assert link.utilization(0.008) == pytest.approx(0.5)
+    assert link.utilization(0.004) == pytest.approx(1.0)
+    assert link.utilization_overruns == 0
+    # Over-unity ratio is returned unclamped and flagged.
+    assert link.utilization(0.002) == pytest.approx(2.0)
+    assert link.utilization_overruns == 1
+    out = reg.as_dict()
+    assert out["counters"]["link.link1.utilization_overruns"] == 1
+    assert "exceeds 1.0" in out["warnings"][0]

@@ -201,3 +201,85 @@ class TestRED:
         q = REDQueue(1000, p)
         q.avg = 10.5
         assert q._early_probability() == 1.0
+
+
+class TestREDEdgeCases:
+    """Edge cases of the RED algorithm, each closed with a conservation
+    sweep via the observability layer's checker."""
+
+    def test_ewma_idle_decay_is_exact(self):
+        from repro.obs import check_queue
+
+        q = REDQueue(
+            100,
+            REDParams(min_th=50, max_th=80, weight=0.5),
+            service_rate_pps=10.0,
+        )
+        for i in range(3):
+            q.push(mkpkt(i), 0.0)
+        # avg before accept: 0 -> 0.5 -> 1.25 (q sampled pre-enqueue)
+        assert q.avg == pytest.approx(1.25)
+        for _ in range(3):
+            q.pop(1.0)  # queue empties at t=1.0
+        # 0.2 s idle at 10 pps: m = 2 virtual services, avg *= (1-w)^m
+        q.push(mkpkt(9), 1.2)
+        assert q.avg == pytest.approx(1.25 * 0.25)
+        check_queue(q)
+
+    def test_gentle_ramp_values(self):
+        p = REDParams(min_th=5, max_th=10, max_p=0.1, gentle=True)
+        q = REDQueue(1000, p)
+        # Linear from max_p at max_th to 1.0 at 2*max_th.
+        q.avg = 12.5
+        assert q._early_probability() == pytest.approx(0.1 + 0.9 * 0.25)
+        q.avg = 15.0
+        assert q._early_probability() == pytest.approx(0.1 + 0.9 * 0.5)
+        q.avg = 20.0  # at and beyond 2*max_th: certainty
+        assert q._early_probability() == 1.0
+
+    def test_count_resets_on_overflow_and_below_min_threshold(self):
+        from repro.obs import check_queue
+
+        q = REDQueue(5, REDParams(min_th=100, max_th=200), rng=np.random.default_rng(1))
+        q.push(mkpkt(0), 0.0)
+        assert q._count == -1  # below min_th: inter-action count disarmed
+        for i in range(1, 5):
+            q.push(mkpkt(i), 0.0)
+        q._count = 7  # pretend early actions were pending
+        assert q.push(mkpkt(9), 0.0) is EnqueueResult.DROPPED  # hard overflow
+        assert q._count == 0  # overflow restarts the spreading count
+        check_queue(q)
+
+    def test_count_resets_after_forced_early_drop(self):
+        from repro.obs import check_queue
+
+        q = REDQueue(1000, REDParams(min_th=5, max_th=10, max_p=0.1))
+        q.avg = 50.0  # far beyond 2*max_th: p_b == 1, action certain
+        q._count = 3
+        assert q.push(mkpkt(0), 0.0) is EnqueueResult.DROPPED
+        assert q._count == 0
+        assert q.dropped == 1
+        check_queue(q)
+
+    def test_count_resets_after_ecn_mark(self):
+        from repro.obs import check_queue
+
+        q = REDQueue(1000, REDParams(min_th=5, max_th=10, max_p=0.1, ecn=True))
+        q.avg = 7.5  # between thresholds: p_b ~ 0.05
+        q._count = 30  # denominator 1 - count*p_b <= 0 forces the action
+        assert q.push(mkpkt(0, ecn=True), 0.0) is EnqueueResult.MARKED
+        assert q._count == 0
+        assert q.marked == 1
+        assert q.dropped == 0
+        check_queue(q)
+
+    def test_ecn_falls_through_to_drop_at_max_threshold(self):
+        from repro.obs import check_queue
+
+        q = REDQueue(1000, REDParams(min_th=5, max_th=10, max_p=0.1, ecn=True))
+        q.avg = 25.0  # avg >= max_th: marking no longer defers the signal
+        r = q.push(mkpkt(0, ecn=True), 0.0)
+        assert r is EnqueueResult.DROPPED
+        assert q.marked == 0
+        assert q.dropped == 1
+        check_queue(q)

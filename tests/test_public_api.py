@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.extensions",
     "repro.internet",
+    "repro.obs",
     "repro.sim",
     "repro.tcp",
 ]
