@@ -2,19 +2,30 @@
 
 PYTHON ?= python
 
-.PHONY: install test check-invariants bench bench-paper figures examples clean
+.PHONY: install test check-invariants faults bench bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: check-invariants
+test: check-invariants faults
 	$(PYTHON) -m pytest tests/
 
 # Conservation smoke: run the two simulator-heavy figures with the
 # invariant checker armed; any accounting violation aborts the run.
+# The second fig2 line re-runs with fault injection armed: conservation
+# identities must hold even while links flap (injected drops are
+# accounted separately, see repro.obs.invariants.check_link).
 check-invariants:
 	PYTHONPATH=src $(PYTHON) -m repro fig2 --check-invariants --metrics-out metrics/fig2.json
 	PYTHONPATH=src $(PYTHON) -m repro fig7 --check-invariants --metrics-out metrics/fig7.json
+	PYTHONPATH=src $(PYTHON) -m repro fig2 --check-invariants --inject-faults 11 --metrics-out metrics/fig2-faults.json
+
+# Fault-injection smoke: armed fault plan, retry/skip policies,
+# kill+resume bit-identity, tracefile corruption — then the fast
+# faults-focused test lane.
+faults:
+	PYTHONPATH=src $(PYTHON) -m repro.faults.smoke
+	PYTHONPATH=src $(PYTHON) -m pytest -q -k faults
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -24,6 +24,10 @@ Subpackages
 ``repro.obs``
     Observability: metrics registry, packet-conservation invariant
     checker, event-loop profiling (wired into experiments and the CLI).
+``repro.faults``
+    Fault injection and resilient execution: seed-reproducible fault
+    plans (link flaps, loss spikes, probe crashes), retry policies, and
+    JSON-lines checkpoints for interruptible campaigns.
 ``repro.experiments``
     One driver per paper figure/table; see DESIGN.md for the index.
 ``repro.extensions``
@@ -38,6 +42,7 @@ __all__ = [
     "emulation",
     "experiments",
     "extensions",
+    "faults",
     "internet",
     "obs",
     "sim",

@@ -17,6 +17,15 @@ PATH`` writes a metrics JSON (per-queue conservation counters, link
 utilization, event-loop statistics) next to the results; when several
 experiments run, each gets its own ``PATH`` with the experiment name
 spliced in before the extension.
+
+Resilience flags (see :mod:`repro.faults`): ``--workers N`` fans
+parallelizable drivers over N processes (bit-identical to serial);
+``--on-error {raise,skip,retry}`` sets the failed-work policy;
+``--checkpoint-dir DIR`` streams completed campaign cells to JSON-lines
+files there so interrupted runs resume; ``--inject-faults SEED`` arms a
+seed-reproducible fault plan (link flaps, loss spikes, probe crashes).
+Each flag sets the corresponding ``REPRO_*`` environment variable for the
+duration of the run, so drivers pick them up without new parameters.
 """
 
 from __future__ import annotations
@@ -163,6 +172,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="verify packet-conservation invariants during and after the run "
         "(aborts with InvariantViolation on any accounting error)",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan parallelizable drivers over N worker processes "
+        "(results are bit-identical to a serial run)",
+    )
+    p.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "retry"],
+        default=None,
+        help="what resilient drivers do with failed work items "
+        "(default raise; skip/retry record failures and keep going)",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="stream completed campaign cells to JSON-lines checkpoints in "
+        "DIR; re-running with the same DIR resumes interrupted campaigns",
+    )
+    p.add_argument(
+        "--inject-faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="arm a seed-reproducible fault plan (link flaps, loss spikes, "
+        "probe crashes) — for exercising the resilience machinery",
+    )
     return p
 
 
@@ -199,13 +239,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # The observability layer is configured through the environment so the
     # knobs reach experiment drivers without threading new parameters
     # through every runner signature (see repro.obs.runtime).
+    from repro.experiments.parallel import ENV_WORKERS
+    from repro.faults import ENV_CHECKPOINT_DIR, ENV_FAULTS, ENV_ON_ERROR
     from repro.obs.runtime import ENV_CHECK_INVARIANTS, ENV_METRICS_OUT
 
     saved_env = {
-        k: os.environ.get(k) for k in (ENV_CHECK_INVARIANTS, ENV_METRICS_OUT)
+        k: os.environ.get(k)
+        for k in (
+            ENV_CHECK_INVARIANTS,
+            ENV_METRICS_OUT,
+            ENV_WORKERS,
+            ENV_ON_ERROR,
+            ENV_CHECKPOINT_DIR,
+            ENV_FAULTS,
+        )
     }
     if args.check_invariants:
         os.environ[ENV_CHECK_INVARIANTS] = "1"
+    if args.workers is not None:
+        os.environ[ENV_WORKERS] = str(args.workers)
+    if args.on_error is not None:
+        os.environ[ENV_ON_ERROR] = args.on_error
+    if args.checkpoint_dir is not None:
+        os.environ[ENV_CHECKPOINT_DIR] = args.checkpoint_dir
+    if args.inject_faults is not None:
+        os.environ[ENV_FAULTS] = str(args.inject_faults)
     try:
         for name in names:
             runner, desc = EXPERIMENTS[name]

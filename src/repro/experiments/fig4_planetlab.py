@@ -7,6 +7,15 @@ per-path RTT normalization, intervals pooled over validated experiments.
 Paper observations to reproduce: **~40% of losses within 0.01 RTT, ~60%
 within 1 RTT**, and the loss process clearly burstier than Poisson inside
 0–0.25 RTT despite the Internet's heterogeneity.
+
+The driver runs the campaign *resiliently* (see :mod:`repro.faults`): the
+environment knobs ``REPRO_WORKERS`` / ``REPRO_ON_ERROR`` /
+``REPRO_CHECKPOINT_DIR`` / ``REPRO_FAULTS`` (the CLI's ``--workers`` /
+``--on-error`` / ``--checkpoint-dir`` / ``--inject-faults``) fan
+experiments over processes, skip-or-retry failed cells, resume interrupted
+campaigns from a checkpoint, and arm a sampled fault plan.  A degraded
+campaign renders with an explicit note — surviving cells, never silent
+truncation.
 """
 
 from __future__ import annotations
@@ -21,6 +30,12 @@ from repro.core.pdf import IntervalPdf, interval_pdf, poisson_reference_pdf
 from repro.core.poisson import PoissonComparison, compare_to_poisson
 from repro.core.report import pdf_figure_text
 from repro.experiments.common import Scale, current_scale
+from repro.faults import (
+    FaultPlan,
+    checkpoint_path_from_env,
+    fault_seed_from_env,
+    on_error_from_env,
+)
 from repro.internet.campaign import Campaign, CampaignResult
 from repro.internet.probe import ProbeConfig
 
@@ -52,16 +67,60 @@ class Fig4Result:
             f"(validated {self.campaign.n_valid}, rejected {self.campaign.n_rejected}); "
             f"paths covered: {len(self.campaign.paths_measured())}"
         )
+        if self.campaign.degraded:
+            failed = ", ".join(
+                f"#{f.index} ({f.error})" for f in self.campaign.failures
+            )
+            tail += (
+                f"\nDEGRADED: {len(self.campaign.failures)} experiment(s) "
+                f"failed and were excluded: {failed}"
+            )
+        injected = self.campaign.meta.get("injected") or {}
+        if injected:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(injected.items()))
+            tail += f"\ninjected faults: {parts}"
         return head + tail
 
 
-def run_fig4(seed: int = 2006, scale: Optional[Scale] = None) -> Fig4Result:
-    """Run the Internet campaign and analyze pooled intervals."""
+def run_fig4(
+    seed: int = 2006,
+    scale: Optional[Scale] = None,
+    workers: Optional[int] = None,
+    on_error: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Fig4Result:
+    """Run the Internet campaign and analyze pooled intervals.
+
+    Resilience knobs left at ``None`` fall back to the environment:
+    ``workers`` to ``REPRO_WORKERS`` (then serial), ``on_error`` to
+    ``REPRO_ON_ERROR`` (then ``"raise"``, or ``"retry"`` when a fault plan
+    is armed), ``fault_plan`` to a plan sampled from ``REPRO_FAULTS``.
+    With ``REPRO_CHECKPOINT_DIR`` set, completed experiments stream to
+    ``fig4.jsonl`` there and an interrupted run resumes from it.
+    """
     sc = current_scale(scale)
+    if fault_plan is None:
+        fault_seed = fault_seed_from_env()
+        if fault_seed is not None:
+            fault_plan = FaultPlan.sample_campaign(
+                fault_seed,
+                n_experiments=sc.campaign_experiments,
+                span_seconds=Campaign.CAMPAIGN_SPAN_SECONDS,
+            )
+    if on_error is None:
+        # An armed plan *will* crash probes; default to riding them out.
+        on_error = on_error_from_env("retry" if fault_plan is not None else "raise")
     camp = Campaign(
-        seed=seed, probe_config=ProbeConfig(duration=sc.campaign_probe_duration)
+        seed=seed,
+        probe_config=ProbeConfig(duration=sc.campaign_probe_duration),
+        fault_plan=fault_plan,
     )
-    result = camp.run(sc.campaign_experiments)
+    result = camp.run(
+        sc.campaign_experiments,
+        workers=workers,
+        on_error=on_error,
+        checkpoint=checkpoint_path_from_env("fig4"),
+    )
     intervals = result.all_intervals_rtt()
     pdf = interval_pdf(intervals)
     poisson = poisson_reference_pdf(pdf.rate_per_rtt(), pdf.edges)

@@ -20,6 +20,7 @@ from repro.apps.latency import LatencyStats, summarize_latencies
 from repro.apps.parallel_transfer import ParallelTransfer, ParallelTransferConfig
 from repro.core.report import format_table
 from repro.experiments.common import Scale, add_noise_fleet, current_scale
+from repro.faults import Result, on_error_from_env
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
@@ -30,12 +31,23 @@ __all__ = ["Fig8Result", "run_fig8", "run_fig8_cell"]
 
 @dataclass
 class Fig8Result:
-    """Reproduced Figure 8 grid: stats per (flow count, RTT) cell."""
+    """Reproduced Figure 8 grid: stats per (flow count, RTT) cell.
+
+    ``failures`` lists repetitions that died permanently under a
+    skip/retry policy as ``(flows, rtt, error)``; their cells aggregate
+    the surviving repetitions and the rendering carries an explicit
+    degradation note.
+    """
 
     cells: dict[tuple[int, float], LatencyStats]
     total_bytes: int
     capacity_bps: float
     bound_seconds: float
+    failures: list = None  # list[(n_flows, rtt, error_text)]
+
+    def __post_init__(self):
+        if self.failures is None:
+            self.failures = []
 
     def series_for_rtt(self, rtt: float) -> tuple[list[int], list[float]]:
         """X (flow counts) and Y (mean normalized latency) for one curve."""
@@ -53,7 +65,7 @@ class Fig8Result:
                  round(st.min, 2), round(st.max, 2),
                  "yes" if st.unpredictable else "no"]
             )
-        return format_table(
+        text = format_table(
             ["flows", "RTT", "mean", "std", "min", "max", "unpredictable"],
             rows,
             title=(
@@ -62,6 +74,16 @@ class Fig8Result:
                 f"{self.capacity_bps / 1e6:.0f} Mbps; bound {self.bound_seconds:.2f} s)"
             ),
         )
+        if self.failures:
+            lost = ", ".join(
+                f"({n} flows, {rtt * 1e3:.0f}ms): {err}"
+                for n, rtt, err in self.failures
+            )
+            text += (
+                f"\nDEGRADED: {len(self.failures)} repetition(s) failed and "
+                f"were excluded: {lost}"
+            )
+        return text
 
 
 def run_fig8_cell(
@@ -114,28 +136,45 @@ def _run_cell_args(args: tuple) -> tuple[tuple[int, float], float]:
 
 
 def run_fig8(
-    seed: int = 1, scale: Optional[Scale] = None, workers: Optional[int] = None
+    seed: int = 1,
+    scale: Optional[Scale] = None,
+    workers: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> Fig8Result:
     """Run the full Figure 8 grid.
 
     ``workers`` > 1 fans the grid's repetitions out over a process pool
     (:mod:`repro.experiments.parallel`); every repetition derives its own
-    seed, so results are identical to the serial run.
+    seed, so results are identical to the serial run.  ``on_error``
+    (default: ``REPRO_ON_ERROR``, then ``"raise"``) selects the resilience
+    policy: under ``"skip"``/``"retry"``, a permanently failed repetition
+    lands in ``result.failures`` and its cell aggregates the survivors.
     """
     sc = current_scale(scale)
     from repro.apps.latency import lower_bound
     from repro.experiments.parallel import parallel_map
 
+    if on_error is None:
+        on_error = on_error_from_env()
     jobs = [
         (n, rtt, seed * 10_000 + rep * 100 + n, sc)
         for rtt in sc.fig8_rtts
         for n in sc.fig8_flow_counts
         for rep in range(sc.fig8_repetitions)
     ]
-    results = parallel_map(_run_cell_args, jobs, workers=workers)
+    results = parallel_map(_run_cell_args, jobs, workers=workers, on_error=on_error)
 
     by_cell: dict[tuple[int, float], list[float]] = {}
-    for key, sample in results:
+    failures: list[tuple[int, float, str]] = []
+    for res in results:
+        if isinstance(res, Result):
+            if not res.ok:
+                n, rtt, _, _ = jobs[res.index]
+                failures.append((n, rtt, res.error_text))
+                continue
+            key, sample = res.value
+        else:  # raise mode returns raw values (legacy contract)
+            key, sample = res
         by_cell.setdefault(key, []).append(sample)
 
     cells: dict[tuple[int, float], LatencyStats] = {}
@@ -149,4 +188,5 @@ def run_fig8(
         total_bytes=sc.fig8_total_bytes,
         capacity_bps=sc.fig8_capacity_bps,
         bound_seconds=lower_bound(sc.fig8_total_bytes, sc.fig8_capacity_bps),
+        failures=failures,
     )

@@ -21,6 +21,7 @@ import numpy as np
 from repro.apps.mapreduce import MapReduceShuffle, ShuffleConfig
 from repro.core.report import format_table
 from repro.experiments.common import Scale, current_scale
+from repro.faults import Result, on_error_from_env
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.tcp.newreno import NewRenoSender
@@ -61,10 +62,21 @@ class ShuffleClassStats:
 
 @dataclass
 class MapReduceResult:
-    """Window-based vs rate-based shuffle statistics."""
+    """Window-based vs rate-based shuffle statistics.
+
+    ``failures`` lists seeds that died permanently under a skip/retry
+    policy as ``(class label, seed, error)``; the class statistics then
+    aggregate the surviving seeds only.
+    """
+
     window: ShuffleClassStats
     rate: ShuffleClassStats
     config: ShuffleConfig
+    failures: list = None  # list[(label, seed, error_text)]
+
+    def __post_init__(self):
+        if self.failures is None:
+            self.failures = []
 
     def to_text(self) -> str:
         """Render the paper-shaped text block for this result."""
@@ -88,20 +100,62 @@ class MapReduceResult:
             if self.rate.mean_spread > 0
             else float("inf")
         )
-        return head + (
+        text = head + (
             f"\nstraggler spread (window/rate ratio): {ratio:.1f}x "
             "(paper §5: rate-based is fairer across concurrent flows)"
         )
+        if self.failures:
+            lost = ", ".join(
+                f"{label} seed {seed}: {err}" for label, seed, err in self.failures
+            )
+            text += (
+                f"\nDEGRADED: {len(self.failures)} shuffle run(s) failed and "
+                f"were excluded: {lost}"
+            )
+        return text
 
 
-def _run_class(sender_cls, seeds, cfg: ShuffleConfig) -> ShuffleClassStats:
+def _shuffle_worker(job: tuple) -> tuple[float, float]:
+    """Picklable worker: one seeded shuffle -> (latency, spread)."""
+    seed, cfg = job
+    sim = Simulator()
+    shuffle = MapReduceShuffle(sim, cfg, streams=RngStreams(seed))
+    res = shuffle.run(horizon=600.0)
+    return res.normalized_latency, res.straggler_spread
+
+
+def _run_class(
+    sender_cls,
+    seeds,
+    cfg: ShuffleConfig,
+    workers=None,
+    on_error: str = "raise",
+    failures: Optional[list] = None,
+) -> ShuffleClassStats:
+    """All seeds of one sender class, optionally fanned over processes.
+
+    Each seeded run is an independent job, so parallel results match the
+    serial ones exactly; permanently failed seeds are appended to
+    ``failures`` and excluded from the statistics.
+    """
+    from repro.experiments.parallel import parallel_map
+
+    jobs = [(seed, cfg) for seed in seeds]
+    out = parallel_map(_shuffle_worker, jobs, workers=workers, on_error=on_error)
     lats, spreads = [], []
-    for seed in seeds:
-        sim = Simulator()
-        shuffle = MapReduceShuffle(sim, cfg, streams=RngStreams(seed))
-        res = shuffle.run(horizon=600.0)
-        lats.append(res.normalized_latency)
-        spreads.append(res.straggler_spread)
+    for res in out:
+        if isinstance(res, Result):
+            if not res.ok:
+                if failures is not None:
+                    failures.append(
+                        (sender_cls.variant, seeds[res.index], res.error_text)
+                    )
+                continue
+            lat, spread = res.value
+        else:  # raise mode returns raw values (legacy contract)
+            lat, spread = res
+        lats.append(lat)
+        spreads.append(spread)
     return ShuffleClassStats(
         label=sender_cls.variant,
         latencies=np.asarray(lats),
@@ -113,9 +167,19 @@ def run_mapreduce(
     seed: int = 1,
     scale: Optional[Scale] = None,
     n_seeds: int = 5,
+    workers: Optional[int] = None,
+    on_error: Optional[str] = None,
 ) -> MapReduceResult:
-    """Run the shuffle comparison at the active scale."""
+    """Run the shuffle comparison at the active scale.
+
+    ``workers`` fans seeded runs over a process pool (``None``: the
+    ``REPRO_WORKERS`` environment variable, then serial) with results
+    identical to serial execution; ``on_error`` (default:
+    ``REPRO_ON_ERROR``, then ``"raise"``) selects the resilience policy.
+    """
     sc = current_scale(scale)
+    if on_error is None:
+        on_error = on_error_from_env()
     # Shuffle sizing follows the scale's Figure 8 budget.  Partitions must
     # be long enough that congestion-avoidance dynamics (not slow-start
     # quantization) set the reducer skew: half the per-reducer share at
@@ -136,8 +200,16 @@ def run_mapreduce(
         downlink_rate_bps=sc.fig8_capacity_bps, buffer_pkts=buffer_pkts,
     )
     seeds = [seed * 100 + i for i in range(n_seeds)]
+    failures: list = []
     return MapReduceResult(
-        window=_run_class(NewRenoSender, seeds, cfg_window),
-        rate=_run_class(PacedSender, seeds, cfg_rate),
+        window=_run_class(
+            NewRenoSender, seeds, cfg_window,
+            workers=workers, on_error=on_error, failures=failures,
+        ),
+        rate=_run_class(
+            PacedSender, seeds, cfg_rate,
+            workers=workers, on_error=on_error, failures=failures,
+        ),
         config=cfg_window,
+        failures=failures,
     )

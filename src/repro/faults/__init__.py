@@ -1,0 +1,72 @@
+"""Fault injection and resilient execution (``repro.faults``).
+
+The paper's PlanetLab leg (§3.1) is an inherently lossy measurement
+process: sites go down mid-campaign, probe runs crash, traces arrive
+truncated.  This package makes failure a first-class, *injectable*,
+*recoverable* condition:
+
+:class:`FaultPlan`
+    A seed-reproducible schedule of injected faults — link flaps,
+    transient loss spikes, clock skew, probe-process crashes, tracefile
+    truncation — armed on the simulator leg (link down/up events) or the
+    campaign leg (path outages, mid-run crashes).
+:class:`Result` / :class:`RetryPolicy`
+    Per-item outcomes and bounded backoff for the resilient
+    :func:`repro.experiments.parallel.parallel_map` and the campaign.
+:class:`Checkpoint`
+    JSON-lines completion logs so an interrupted campaign resumes exactly
+    where it stopped, bit-identical to an uninterrupted run.
+
+``python -m repro.faults.smoke`` (the ``make faults`` target) smoke-runs
+a campaign with an armed plan and asserts it completes degraded-but-valid.
+"""
+
+from repro.faults.checkpoint import (
+    ENV_CHECKPOINT_DIR,
+    Checkpoint,
+    CheckpointError,
+    checkpoint_path_from_env,
+)
+from repro.faults.plan import (
+    ENV_FAULTS,
+    ClockSkew,
+    FaultPlan,
+    InjectedFault,
+    LinkFlap,
+    LossSpike,
+    ProbeCrash,
+    ProbeCrashError,
+    TraceTruncation,
+    fault_seed_from_env,
+)
+from repro.faults.resilient import (
+    ENV_ON_ERROR,
+    ItemTimeoutError,
+    Result,
+    RetryPolicy,
+    on_error_from_env,
+    run_with_retry,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "ClockSkew",
+    "ENV_CHECKPOINT_DIR",
+    "ENV_FAULTS",
+    "ENV_ON_ERROR",
+    "FaultPlan",
+    "InjectedFault",
+    "ItemTimeoutError",
+    "LinkFlap",
+    "LossSpike",
+    "ProbeCrash",
+    "ProbeCrashError",
+    "Result",
+    "RetryPolicy",
+    "TraceTruncation",
+    "checkpoint_path_from_env",
+    "fault_seed_from_env",
+    "on_error_from_env",
+    "run_with_retry",
+]

@@ -1,0 +1,145 @@
+"""JSON-lines checkpoints for interruptible grid/campaign runs.
+
+A checkpoint file holds one meta line (what run this is: kind, seed, item
+count) followed by one JSON record per *completed* work item.  Appends are
+flushed and fsynced, so a killed run loses at most the record it was
+writing; :meth:`Checkpoint.load` tolerates exactly that — a truncated
+final line — and rejects anything else as corruption.  Resuming is then
+just "skip the indices already on disk": the caller re-derives per-item
+RNG streams from the run seed, so the merged result is bit-identical to an
+uninterrupted run.
+
+Floats survive the round trip exactly: ``json`` serializes via
+``float.__repr__``, which is lossless for IEEE-754 doubles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Optional, Union
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "ENV_CHECKPOINT_DIR",
+    "checkpoint_path_from_env",
+]
+
+_FORMAT_VERSION = 1
+
+#: Environment knob: directory experiment drivers write their checkpoint
+#: files into (set by the CLI's ``--checkpoint-dir``; unset: no checkpoints).
+ENV_CHECKPOINT_DIR = "REPRO_CHECKPOINT_DIR"
+
+
+def checkpoint_path_from_env(name: str) -> Optional[Path]:
+    """``$REPRO_CHECKPOINT_DIR/<name>.jsonl``, or ``None`` when unset."""
+    raw = os.environ.get(ENV_CHECKPOINT_DIR, "").strip()
+    if not raw:
+        return None
+    return Path(raw) / f"{name}.jsonl"
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file is corrupt or belongs to a different run."""
+
+
+class Checkpoint:
+    """One run's append-only completion log.
+
+    Parameters
+    ----------
+    path:
+        The ``.jsonl`` file (created lazily on first append).
+    meta:
+        Identity of the run (e.g. ``{"kind": "campaign", "seed": 7,
+        "n": 300}``).  Written as the first line of a fresh file and
+        *validated* against an existing file on :meth:`load` — resuming a
+        campaign against another run's checkpoint is an error, not a
+        silently mixed dataset.
+    """
+
+    def __init__(self, path: Union[str, Path], meta: Optional[dict] = None):
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self.meta.setdefault("version", _FORMAT_VERSION)
+        self._fh: Optional[IO[str]] = None
+
+    # -- reading ---------------------------------------------------------
+    def load(self) -> dict[int, dict]:
+        """Completed records by index (empty when no file exists).
+
+        A truncated final line (the append a crash interrupted) is
+        dropped; an undecodable line anywhere else raises
+        :class:`CheckpointError`, as does a meta mismatch.
+        """
+        if not self.path.exists():
+            return {}
+        raw = self.path.read_text()
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records: dict[int, dict] = {}
+        for pos, line in enumerate(lines):
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                if pos == len(lines) - 1:
+                    break  # interrupted append: drop the partial record
+                raise CheckpointError(
+                    f"{self.path}: corrupt checkpoint line {pos + 1}"
+                ) from None
+            if pos == 0:
+                self._validate_meta(obj)
+                continue
+            if not isinstance(obj, dict) or "i" not in obj:
+                raise CheckpointError(
+                    f"{self.path}: line {pos + 1} is not a checkpoint record"
+                )
+            records[int(obj["i"])] = obj["record"]
+        return records
+
+    def _validate_meta(self, on_disk: dict) -> None:
+        if not isinstance(on_disk, dict):
+            raise CheckpointError(f"{self.path}: first line is not a meta record")
+        for key, want in self.meta.items():
+            got = on_disk.get(key)
+            if got != want:
+                raise CheckpointError(
+                    f"{self.path}: checkpoint belongs to a different run "
+                    f"({key}={got!r}, this run has {key}={want!r})"
+                )
+
+    # -- writing ---------------------------------------------------------
+    def append(self, index: int, record: dict) -> None:
+        """Durably log item ``index`` as completed."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = self.path.open("a")
+            if fresh:
+                self._write_line(self.meta)
+        self._write_line({"i": int(index), "record": record})
+
+    def _write_line(self, obj: dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(obj, separators=(",", ":")) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (safe to call repeatedly)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Checkpoint {self.path} meta={self.meta}>"

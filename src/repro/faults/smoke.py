@@ -1,0 +1,189 @@
+"""Fault-injection smoke test (the ``make faults`` target).
+
+Runs the resilience machinery end to end and asserts degraded-but-valid
+completion::
+
+    PYTHONPATH=src python -m repro.faults.smoke
+
+Legs exercised:
+
+1. **Campaign + retry** — an armed :class:`~repro.faults.FaultPlan`
+   (path-outage link flaps, a loss spike, two probe crashes) completes
+   under ``on_error="retry"``, reports the injections in the result
+   metadata, and produces data for every experiment.
+2. **Kill + resume** — a checkpointed campaign is "killed" (its
+   checkpoint truncated to a prefix, final record ripped mid-line) and
+   resumed; the merged result fingerprints identically to an
+   uninterrupted run with the same seed.
+3. **Skip degradation** — without retries, the injected crashes land in
+   ``result.failures`` and the figure text carries an explicit
+   ``DEGRADED`` note while the surviving cells still analyze.
+4. **Simulator flaps + invariants** — a dumbbell run with link flaps
+   armed keeps every packet-conservation identity exact (injected drops
+   are accounted, not leaked).
+5. **Tracefile corruption** — the atomic writer leaves no temp litter
+   and a truncated archive raises a structured ``TraceCorruptError``.
+
+Exits nonzero (an ``AssertionError``) on any failure.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.faults.plan import FaultPlan
+from repro.internet.campaign import Campaign
+from repro.internet.probe import ProbeConfig
+
+#: Smoke-run sizing: small enough for CI, big enough to see every fault.
+SEED = 2006
+FAULT_SEED = 11
+N_EXPERIMENTS = 8
+PROBE = ProbeConfig(duration=30.0, interval=0.005)
+
+
+def _plan() -> FaultPlan:
+    """A fresh armed plan (fresh per run: plans accumulate realized
+    injection counts, and determinism must not depend on reuse)."""
+    return FaultPlan.sample_campaign(
+        FAULT_SEED,
+        n_experiments=N_EXPERIMENTS,
+        span_seconds=Campaign.CAMPAIGN_SPAN_SECONDS,
+        n_flaps=2,
+        n_crashes=2,
+        n_spikes=1,
+    )
+
+
+def _campaign() -> Campaign:
+    return Campaign(seed=SEED, probe_config=PROBE, fault_plan=_plan())
+
+
+def check_campaign_retry() -> str:
+    """Leg 1: armed plan + retry -> complete, injections in metadata."""
+    res = _campaign().run(N_EXPERIMENTS, on_error="retry")
+    assert len(res.experiments) == N_EXPERIMENTS, (
+        f"expected {N_EXPERIMENTS} experiments, got {len(res.experiments)}"
+    )
+    assert not res.failures, f"retry should resolve crashes: {res.failures}"
+    assert len(res.meta["retried"]) == 2, (
+        f"expected 2 retried (crashed) experiments, got {res.meta['retried']}"
+    )
+    assert res.meta["fault_plan"]["probe_crashes"], "plan lost its crashes"
+    return res.fingerprint()
+
+
+def check_kill_and_resume(reference: str) -> None:
+    """Leg 2: truncate the checkpoint mid-run, resume, compare."""
+    with tempfile.TemporaryDirectory() as td:
+        ck = Path(td) / "smoke.jsonl"
+        _campaign().run(N_EXPERIMENTS, on_error="retry", checkpoint=ck)
+        # "Kill" the run after 4 completions, ripping the next append
+        # mid-line — exactly what a crash during fsync leaves behind.
+        lines = ck.read_text().splitlines(keepends=True)
+        ck.write_text("".join(lines[:5]) + lines[5][: len(lines[5]) // 2])
+        resumed = _campaign().run(N_EXPERIMENTS, on_error="retry", checkpoint=ck)
+        assert resumed.meta["resumed"] == 4, (
+            f"expected 4 resumed cells, got {resumed.meta['resumed']}"
+        )
+        assert resumed.fingerprint() == reference, (
+            "resumed campaign is not bit-identical to the uninterrupted run"
+        )
+
+
+def check_skip_degrades() -> None:
+    """Leg 3: no retries -> crashes become recorded failures."""
+    res = _campaign().run(N_EXPERIMENTS, on_error="skip")
+    assert res.degraded, "skip mode should report a degraded result"
+    assert len(res.failures) == 2, f"expected 2 failures, got {res.failures}"
+    assert all("ProbeCrashError" in f.error for f in res.failures)
+    assert res.meta["failed"] == sorted(f.index for f in res.failures)
+    assert len(res.experiments) == N_EXPERIMENTS - 2
+    assert res.all_intervals_rtt().size > 0, "surviving cells must analyze"
+
+
+def check_sim_flaps_conserve() -> tuple[int, Path]:
+    """Leg 4: link flaps under the invariant checker; returns the flap
+    count and an archived drop trace for leg 5."""
+    from repro.obs.invariants import InvariantChecker
+    from repro.obs.metrics import MetricsRegistry
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RngStreams
+    from repro.sim.tracefile import save_drop_trace
+    from repro.sim.topology import DumbbellConfig, build_dumbbell
+    from repro.tcp.newreno import NewRenoSender
+    from repro.tcp.sink import TcpSink
+
+    sim = Simulator()
+    db = build_dumbbell(sim, DumbbellConfig(bottleneck_rate_bps=10e6, buffer_pkts=16))
+    streams = RngStreams(SEED)
+    flows = []
+    for i in range(4):
+        pair = db.add_pair(rtt=0.04 + 0.02 * i, name=f"tcp{i}")
+        fid = 100 + i
+        snd = NewRenoSender(sim, pair.left, fid, pair.right.node_id, total_packets=None)
+        sink = TcpSink(sim, pair.right, fid, pair.left.node_id)
+        flows.append((snd, sink))
+        snd.start(float(streams.stream("starts").uniform(0.0, 0.1)))
+
+    plan = FaultPlan.sample_sim(FAULT_SEED, n_flaps=3, window=(0.5, 3.0))
+    plan.arm_links(sim, (db.bottleneck_fwd, db.bottleneck_rev))
+
+    registry = MetricsRegistry("faults-smoke")
+    checker = InvariantChecker(registry)
+    checker.add_link(db.bottleneck_fwd)
+    checker.add_link(db.bottleneck_rev)
+    for snd, sink in flows:
+        checker.add_flow(snd, sink=sink, drop_traces=(db.drop_trace,),
+                         traces_complete=True)
+    checker.attach(sim, interval=0.5)
+    sim.run(until=4.0)
+    checker.final_check(sim)  # raises InvariantViolation on any leak
+
+    flaps = db.bottleneck_fwd.flap_count + db.bottleneck_rev.flap_count
+    assert flaps >= 3, f"expected >=3 realized flaps, got {flaps}"
+    assert plan.injected.get("link_down", 0) >= 3, plan.injected
+    assert db.drop_trace.drop_times().size > 0, "flaps produced no drops"
+
+    out = Path(tempfile.mkdtemp()) / "smoke_trace.npz"
+    save_drop_trace(db.drop_trace, out, rtt=0.05)
+    litter = list(out.parent.glob(".*.tmp-*"))
+    assert not litter, f"atomic save left temp litter: {litter}"
+    return flaps, out
+
+
+def check_tracefile_corruption(trace_path: Path) -> None:
+    """Leg 5: a truncated archive raises TraceCorruptError on load."""
+    from repro.sim.tracefile import TraceCorruptError, load_drop_trace
+
+    load_drop_trace(trace_path)  # pristine archive loads fine
+    plan = FaultPlan(FAULT_SEED).set_trace_truncation(keep_fraction=0.5)
+    plan.corrupt_tracefile(trace_path)
+    try:
+        load_drop_trace(trace_path)
+    except TraceCorruptError as exc:
+        assert exc.path == trace_path
+    else:
+        raise AssertionError("truncated tracefile loaded without error")
+
+
+def main() -> int:
+    """Run every leg; print a one-line verdict per leg."""
+    fp = check_campaign_retry()
+    print(f"[faults] campaign+retry ok (fingerprint {fp[:12]}...)")
+    check_kill_and_resume(fp)
+    print("[faults] kill+resume bit-identical ok")
+    check_skip_degrades()
+    print("[faults] skip-mode degradation ok")
+    flaps, trace_path = check_sim_flaps_conserve()
+    print(f"[faults] sim flaps ({flaps}) conserve ok")
+    check_tracefile_corruption(trace_path)
+    print("[faults] tracefile corruption detected ok")
+    print("[faults] all legs passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by `make faults`
+    sys.exit(main())

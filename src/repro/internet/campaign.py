@@ -6,22 +6,43 @@ random directed site pairs, runs the 48 B / 400 B probe pair against the
 path's loss model (same congestion episodes for both runs), applies the
 validation rule, and pools RTT-normalized loss intervals across validated
 experiments — the dataset behind Figure 4.
+
+The campaign is built for the *lossy reality* of such a measurement
+process.  Each experiment is a self-contained job whose randomness is
+re-derived from ``(seed, path name, index)``, so:
+
+* experiments fan out over worker processes
+  (:func:`repro.experiments.parallel.parallel_map`) with results
+  bit-identical to a serial run;
+* failures (real or injected by a :class:`repro.faults.FaultPlan`) are
+  retried, or recorded as :class:`ExperimentFailure` and *skipped* — the
+  surviving cells still form a valid, explicitly degraded dataset;
+* completed experiments stream into a JSON-lines
+  :class:`~repro.faults.Checkpoint`, so an interrupted campaign resumes
+  exactly where it stopped and finishes bit-identical to an uninterrupted
+  run with the same seed.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 import numpy as np
 
+from repro.faults.checkpoint import Checkpoint
+from repro.faults.plan import FaultPlan
+from repro.faults.resilient import Result, RetryPolicy
 from repro.internet.pathmodel import PathLossModel, sample_path_loss_model
 from repro.internet.paths import PathRtt, RttMatrix
 from repro.internet.probe import PROBE_SIZES, ProbeConfig, ProbeRun, run_probe, validate_pair
 from repro.internet.sites import SITES
 from repro.sim.rng import RngStreams
 
-__all__ = ["Experiment", "CampaignResult", "Campaign"]
+__all__ = ["Experiment", "ExperimentFailure", "CampaignResult", "Campaign"]
 
 
 @dataclass
@@ -42,11 +63,28 @@ class Experiment:
         return np.concatenate((self.small.intervals_rtt(), self.large.intervals_rtt()))
 
 
+@dataclass(frozen=True)
+class ExperimentFailure:
+    """One experiment that never produced data (crashed/timed out/skipped)."""
+
+    index: int
+    error: str
+    attempts: int = 1
+
+
 @dataclass
 class CampaignResult:
-    """Aggregated campaign output."""
+    """Aggregated campaign output.
+
+    ``experiments`` holds every cell that produced data; cells that failed
+    permanently are accounted in ``failures`` — graceful degradation, not
+    silent truncation.  ``meta`` carries provenance (fault plan, retries,
+    resume counts) and is deliberately excluded from :meth:`fingerprint`.
+    """
 
     experiments: list[Experiment] = field(default_factory=list)
+    failures: list[ExperimentFailure] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
 
     @property
     def n_valid(self) -> int:
@@ -57,6 +95,11 @@ class CampaignResult:
     def n_rejected(self) -> int:
         """Experiments discarded by the validation rule."""
         return len(self.experiments) - self.n_valid
+
+    @property
+    def degraded(self) -> bool:
+        """True when any experiment failed and was excluded."""
+        return bool(self.failures)
 
     def all_intervals_rtt(self) -> np.ndarray:
         """RTT-normalized loss intervals pooled over validated experiments
@@ -83,6 +126,116 @@ class CampaignResult:
         ]
         return float(np.mean(rates)) if rates else float("nan")
 
+    def fingerprint(self) -> str:
+        """SHA-256 over the measurement content (experiments + failures).
+
+        Provenance ``meta`` is excluded on purpose: a resumed run carries
+        different bookkeeping but must fingerprint identically to an
+        uninterrupted run with the same seed.
+        """
+        payload = {
+            "experiments": [_experiment_to_record(e, i)
+                            for i, e in enumerate(self.experiments)],
+            "failures": [
+                {"index": f.index, "error": f.error, "attempts": f.attempts}
+                for f in self.failures
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Experiment <-> checkpoint-record serialization.  Records are plain JSON
+# (floats round-trip exactly via repr), so a resumed campaign rebuilds
+# experiments bit-identical to the run that wrote them.
+
+def _probe_run_to_record(run: ProbeRun) -> dict:
+    return {
+        "packet_size": int(run.packet_size),
+        "n_sent": int(run.n_sent),
+        "rtt": float(run.rtt),
+        "loss_times": np.asarray(run.loss_times, dtype=np.float64).tolist(),
+    }
+
+
+def _experiment_to_record(e: Experiment, index: int) -> dict:
+    return {
+        "index": int(index),
+        "src": e.path.src.hostname,
+        "dst": e.path.dst.hostname,
+        "started_at": float(e.started_at),
+        "valid": bool(e.valid),
+        "runs": [_probe_run_to_record(e.small), _probe_run_to_record(e.large)],
+    }
+
+
+def _experiment_from_record(record: dict, matrix: RttMatrix) -> Experiment:
+    path = matrix.path(record["src"], record["dst"])
+    runs = [
+        ProbeRun(
+            path=path,
+            packet_size=int(r["packet_size"]),
+            n_sent=int(r["n_sent"]),
+            loss_times=np.asarray(r["loss_times"], dtype=np.float64),
+            rtt=float(r["rtt"]),
+        )
+        for r in record["runs"]
+    ]
+    return Experiment(
+        path=path, small=runs[0], large=runs[1],
+        valid=bool(record["valid"]), started_at=float(record["started_at"]),
+    )
+
+
+def _experiment_worker(job: tuple, attempt: int = 1) -> dict:
+    """One campaign experiment as a self-contained, picklable job.
+
+    Every random draw re-derives from the campaign seed and the job's own
+    names (``loss/<src>/<dst>``, ``exp/<index>``), so the worker produces
+    the exact record a serial run would — regardless of process
+    scheduling, retries, or resumption.
+    """
+    seed, cfg, path, index, started_at, plan = job
+    if plan is not None:
+        plan.crash_check(index, attempt)
+    streams = RngStreams(seed)
+    model = sample_path_loss_model(path, streams)
+    rng = streams.stream(f"exp/{index}")
+    horizon = cfg.duration * 1.01
+    episodes = model.sample_episodes(horizon, rng)
+    rtt_now = path.rtt_at(started_at)
+    injected_before = dict(plan.injected) if plan is not None else {}
+    mask_hook = None
+    if plan is not None and (plan.flaps or plan.spikes):
+        def mask_hook(times, lost, _index=index, _t0=started_at):
+            return plan.apply_probe_faults(times, lost, _t0, _index)
+    small = run_probe(
+        path, model, rng, cfg, packet_size=PROBE_SIZES[0],
+        episodes=episodes, mask_hook=mask_hook,
+    )
+    large = run_probe(
+        path, model, rng, cfg, packet_size=PROBE_SIZES[1],
+        episodes=episodes, mask_hook=mask_hook,
+    )
+    small.rtt = rtt_now
+    large.rtt = rtt_now
+    if plan is not None and plan.skew is not None:
+        small.loss_times = plan.skew_times(small.loss_times)
+        large.loss_times = plan.skew_times(large.loss_times)
+    exp = Experiment(
+        path=path, small=small, large=large,
+        valid=validate_pair(small, large), started_at=started_at,
+    )
+    record = _experiment_to_record(exp, index)
+    if plan is not None:
+        record["injected"] = {
+            k: v - injected_before.get(k, 0)
+            for k, v in plan.injected.items()
+            if v - injected_before.get(k, 0) > 0
+        }
+    return record
+
 
 class Campaign:
     """Random-pair CBR measurement campaign over the 26-site mesh."""
@@ -92,11 +245,18 @@ class Campaign:
         seed: int = 2006,
         probe_config: Optional[ProbeConfig] = None,
         rtt_matrix: Optional[RttMatrix] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.streams = RngStreams(seed)
         self.matrix = rtt_matrix if rtt_matrix is not None else RttMatrix(self.streams)
         self.probe_config = probe_config or ProbeConfig()
+        self.fault_plan = fault_plan
         self._models: dict[tuple[str, str], PathLossModel] = {}
+
+    @property
+    def seed(self) -> int:
+        """The campaign seed (every stream derives from it)."""
+        return self.streams.seed
 
     def model_for(self, path: PathRtt) -> PathLossModel:
         """The (cached) loss model of a path."""
@@ -122,41 +282,126 @@ class Campaign:
         runs are normalized by the path's diurnal RTT at that time
         ("depending on the time of the day", §3.1).
         """
-        model = self.model_for(path)
-        rng = self.streams.stream(f"exp/{index}")
-        horizon = self.probe_config.duration * 1.01
-        episodes = model.sample_episodes(horizon, rng)
-        rtt_now = path.rtt_at(started_at)
-        small = run_probe(
-            path, model, rng, self.probe_config, packet_size=PROBE_SIZES[0],
-            episodes=episodes,
+        job = (
+            self.seed, self.probe_config, path, index, started_at,
+            self.fault_plan,
         )
-        large = run_probe(
-            path, model, rng, self.probe_config, packet_size=PROBE_SIZES[1],
-            episodes=episodes,
-        )
-        small.rtt = rtt_now
-        large.rtt = rtt_now
-        return Experiment(
-            path=path, small=small, large=large,
-            valid=validate_pair(small, large), started_at=started_at,
-        )
+        return _experiment_from_record(_experiment_worker(job), self.matrix)
 
     #: Campaign span: October-December 2006 is ~92 days.
     CAMPAIGN_SPAN_SECONDS = 92 * 86_400.0
 
-    def run(self, n_experiments: int) -> CampaignResult:
+    def run(
+        self,
+        n_experiments: int,
+        workers: Optional[int] = None,
+        on_error: str = "raise",
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
+    ) -> CampaignResult:
         """Run ``n_experiments`` random-pair measurements, spread uniformly
-        over the campaign's three-month clock."""
+        over the campaign's three-month clock.
+
+        ``workers`` fans experiments over a process pool (``None``: the
+        ``REPRO_WORKERS`` environment variable, then serial) with results
+        bit-identical to serial execution.  ``on_error`` / ``retry`` /
+        ``timeout`` are the resilience policy
+        (:func:`repro.experiments.parallel.parallel_map`): with ``"skip"``
+        or ``"retry"``, permanently failed experiments land in
+        ``result.failures`` instead of aborting the campaign.
+        ``checkpoint`` names a JSON-lines file: completed experiments are
+        durably logged as they finish, and a rerun pointing at the same
+        file skips them, resuming exactly where the interrupted run
+        stopped.
+        """
         if n_experiments <= 0:
             raise ValueError(f"need a positive experiment count, got {n_experiments}")
+        from repro.experiments.parallel import parallel_map
+
         picker = self.streams.stream("pair-picker")
         when = self.streams.stream("schedule")
-        result = CampaignResult()
-        starts = np.sort(when.uniform(0.0, self.CAMPAIGN_SPAN_SECONDS, n_experiments))
-        for i in range(n_experiments):
-            path = self.pick_path(picker)
-            result.experiments.append(
-                self.run_experiment(path, i, started_at=float(starts[i]))
+        starts = np.sort(
+            when.uniform(0.0, self.CAMPAIGN_SPAN_SECONDS, n_experiments)
+        )
+        jobs = [
+            (
+                self.seed, self.probe_config, self.pick_path(picker), i,
+                float(starts[i]), self.fault_plan,
             )
+            for i in range(n_experiments)
+        ]
+
+        records: dict[int, dict] = {}
+        ckpt: Optional[Checkpoint] = None
+        if checkpoint is not None:
+            ckpt = Checkpoint(
+                checkpoint,
+                meta={
+                    "kind": "campaign",
+                    "seed": self.seed,
+                    "n": n_experiments,
+                    "duration": self.probe_config.duration,
+                },
+            )
+            records = ckpt.load()
+        resumed = len(records)
+        todo = [jobs[i] for i in range(n_experiments) if i not in records]
+
+        retried: dict[int, int] = {}
+
+        def note(res: Result) -> None:
+            if not res.ok:
+                return
+            exp_index = int(res.value["index"])
+            if res.attempts > 1:
+                retried[exp_index] = res.attempts
+            records[exp_index] = res.value
+            if ckpt is not None:
+                ckpt.append(exp_index, res.value)
+
+        try:
+            out = parallel_map(
+                _experiment_worker, todo, workers=workers,
+                on_error=on_error, retry=retry, timeout=timeout,
+                pass_attempt=True, on_result=note,
+            )
+        finally:
+            if ckpt is not None:
+                ckpt.close()
+
+        failures: list[ExperimentFailure] = []
+        if on_error != "raise":
+            for res in out:
+                if isinstance(res, Result) and not res.ok:
+                    failures.append(
+                        ExperimentFailure(
+                            index=int(todo[res.index][3]),
+                            error=res.error_text,
+                            attempts=res.attempts,
+                        )
+                    )
+        failures.sort(key=lambda f: f.index)
+
+        result = CampaignResult(failures=failures)
+        injected: dict[str, int] = {}
+        for i in range(n_experiments):
+            rec = records.get(i)
+            if rec is None:
+                continue
+            result.experiments.append(_experiment_from_record(rec, self.matrix))
+            for kind, count in rec.get("injected", {}).items():
+                injected[kind] = injected.get(kind, 0) + int(count)
+        result.meta = {
+            "seed": self.seed,
+            "n_experiments": n_experiments,
+            "on_error": on_error,
+            "resumed": resumed,
+            "retried": retried,
+            "failed": [f.index for f in failures],
+            "injected": injected,
+            "fault_plan": (
+                None if self.fault_plan is None else self.fault_plan.describe()
+            ),
+        }
         return result

@@ -11,7 +11,7 @@ schedule; intervals are normalized by the path RTT.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -79,8 +79,14 @@ def run_probe(
     config: Optional[ProbeConfig] = None,
     packet_size: int = 400,
     episodes: Optional[tuple[np.ndarray, np.ndarray]] = None,
+    mask_hook: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
 ) -> ProbeRun:
-    """Execute one CBR probe run against a path's loss model."""
+    """Execute one CBR probe run against a path's loss model.
+
+    ``mask_hook(times, lost) -> lost`` post-processes the loss mask before
+    loss timestamps are extracted — the seam fault plans use to fold path
+    outages and loss spikes into a run (:mod:`repro.faults`).
+    """
     cfg = config or ProbeConfig()
     n = int(cfg.duration / cfg.interval)
     times = np.arange(n) * cfg.interval
@@ -88,6 +94,8 @@ def run_probe(
         times = times + cfg.interval * cfg.jitter * (rng.random(n) - 0.5)
         times = np.maximum.accumulate(np.maximum(times, 0.0))  # keep ordered
     lost = model.lost_mask(times, rng, episodes=episodes)
+    if mask_hook is not None:
+        lost = mask_hook(times, lost)
     return ProbeRun(
         path=path,
         packet_size=packet_size,
@@ -107,7 +115,17 @@ def validate_pair(
     loss rates agree within ``rel_tolerance`` (relative to the mean).  If
     the larger probe lost dramatically more, the probe load itself was
     shaping the path and the measurement is discarded.
+
+    The pair must actually be ordered (small, large): passing the 400 B
+    run first is a harness bug, not a measurement to validate, and raises
+    ``ValueError``.  (Equal sizes are tolerated — two same-size runs are a
+    legitimate, if unusual, similarity check.)
     """
+    if small.packet_size > large.packet_size:
+        raise ValueError(
+            f"validate_pair expects (small, large) probe runs, got sizes "
+            f"({small.packet_size}, {large.packet_size})"
+        )
     if small.n_lost < min_losses or large.n_lost < min_losses:
         return False
     a, b = small.loss_rate, large.loss_rate

@@ -133,6 +133,8 @@ def _link_snapshot(link: "Link") -> dict:
         "busy_time": link.busy_time,
         "queued": len(link.queue),
         "queue_dropped": link.queue.dropped,
+        "dropped_down": link.packets_dropped_down,
+        "is_up": link.is_up,
     }
 
 
@@ -140,19 +142,25 @@ def check_link(link: "Link", now: float = 0.0) -> dict:
     """Verify link-level conservation; returns the snapshot.
 
     Every packet offered to the link is exactly one of: forwarded, in the
-    transmitter (at most one, iff ``busy``), waiting in the queue, or
-    dropped by the queue.
+    transmitter (at most one, iff ``busy``), waiting in the queue, dropped
+    by the queue, or dropped because the link was down (injected faults —
+    ``packets_dropped_down`` is how the checker is told about them, so the
+    identity holds *modulo* injected drops).
     """
     snap = _link_snapshot(link)
     transmitting = 1 if link.busy else 0
-    accounted = link.packets_forwarded + transmitting + len(link.queue) + link.queue.dropped
+    accounted = (
+        link.packets_forwarded + transmitting + len(link.queue)
+        + link.queue.dropped + link.packets_dropped_down
+    )
     if link.packets_offered != accounted:
         raise InvariantViolation(
             "link.conservation",
             link.name,
             f"offered ({link.packets_offered}) != forwarded ({link.packets_forwarded}) "
             f"+ transmitting ({transmitting}) + queued ({len(link.queue)}) "
-            f"+ dropped ({link.queue.dropped})",
+            f"+ dropped ({link.queue.dropped}) "
+            f"+ dropped_down ({link.packets_dropped_down})",
             snap,
             now,
         )

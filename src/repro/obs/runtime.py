@@ -19,10 +19,16 @@ Environment variables (set by ``repro.cli``'s ``--metrics-out`` /
     periodically and at teardown.
 ``REPRO_CHECK_INTERVAL``
     Sim-seconds between periodic sweeps (default 1.0).
+``REPRO_FAULTS``
+    Integer seed arming a sampled :class:`repro.faults.FaultPlan` on the
+    run's bottleneck links (reproducible link flaps; the CLI's
+    ``--inject-faults``).  Injected drops are accounted separately
+    (``packets_dropped_down``, ``faults.injected.*`` counters), so the
+    conservation invariants hold with injection armed.
 
-When neither knob is on, :func:`observe_run` returns a disabled
-observation whose every method is a cheap no-op, so instrumented drivers
-cost nothing by default.
+When no knob is on, :func:`observe_run` returns a disabled observation
+whose every method is a cheap no-op, so instrumented drivers cost nothing
+by default.
 """
 
 from __future__ import annotations
@@ -83,6 +89,7 @@ class RunObservation:
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.enabled = registry is not None
         self.profile_stats: Optional[dict] = None
+        self.fault_plan = None  # armed by observe_run when $REPRO_FAULTS is set
         self._duration_links: list = []
 
     # -- wiring ---------------------------------------------------------
@@ -149,6 +156,11 @@ class RunObservation:
             self.registry.sections["invariants"] = self.checker.snapshots()
         if self.profile_stats is not None:
             self.registry.sections["event_loop"] = self.profile_stats
+        if self.fault_plan is not None:
+            self.registry.sections["faults"] = {
+                "plan": self.fault_plan.describe(),
+                "injected": dict(self.fault_plan.injected),
+            }
         data = self.registry.as_dict()
         if self.metrics_path is not None:
             self.registry.write_json(self.metrics_path)
@@ -181,15 +193,31 @@ def observe_run(
     if check_interval is None:
         check_interval = env_interval
 
+    from repro.faults.plan import FaultPlan, fault_seed_from_env
+
+    fault_seed = fault_seed_from_env()
+    fault_plan = None
+    if fault_seed is not None and db is not None:
+        # Arm reproducible link flaps on the bottleneck pair.  This works
+        # with or without the metrics/invariant layer: injection is a
+        # scenario input, observability an optional lens on it.
+        fault_plan = FaultPlan.sample_sim(fault_seed)
+        fault_plan.arm_links(sim, (db.bottleneck_fwd, db.bottleneck_rev))
+
     if not metrics_out and not check_invariants:
-        return RunObservation(sim, name=name)
+        obs = RunObservation(sim, name=name)
+        obs.fault_plan = fault_plan
+        return obs
 
     registry = MetricsRegistry(name)
+    if fault_plan is not None:
+        fault_plan.attach_metrics(registry)
     sim.attach_metrics(registry)
     checker = InvariantChecker(registry) if check_invariants else None
     obs = RunObservation(
         sim, name=name, registry=registry, checker=checker, metrics_path=metrics_out
     )
+    obs.fault_plan = fault_plan
 
     if db is not None:
         obs.watch_link(db.bottleneck_fwd)

@@ -72,13 +72,19 @@ class Link:
         self.drop_trace = drop_trace
         self.arrival_trace = arrival_trace
         self.busy = False
-        # Accounting: offered == forwarded + transmitting + queued + dropped
-        # (the conservation identity repro.obs.invariants.check_link verifies).
+        #: Fault-injection state: a downed link drops every offered packet.
+        self.is_up = True
+        # Accounting: offered == forwarded + transmitting + queued +
+        # queue-dropped + dropped-down (the conservation identity
+        # repro.obs.invariants.check_link verifies; down-drops are counted
+        # separately so invariants hold modulo *injected* faults).
         self.packets_offered = 0
+        self.packets_dropped_down = 0
         self.bytes_forwarded = 0
         self.packets_forwarded = 0
         self.busy_time = 0.0
         self.utilization_overruns = 0
+        self.flap_count = 0
         self.registry: Optional["MetricsRegistry"] = None
 
     # ------------------------------------------------------------------
@@ -93,6 +99,11 @@ class Link:
         self.packets_offered += 1
         if self.arrival_trace is not None:
             self.arrival_trace.record(pkt, now)
+        if not self.is_up:
+            self.packets_dropped_down += 1
+            if self.drop_trace is not None:
+                self.drop_trace.record(pkt, now, marked=False)
+            return EnqueueResult.DROPPED
         if not self.busy and not self.queue:
             self._transmit(pkt)
             return EnqueueResult.ENQUEUED
@@ -121,6 +132,25 @@ class Link:
             self._transmit(nxt)
         else:
             self.busy = False
+
+    # ------------------------------------------------------------------
+    def take_down(self) -> None:
+        """Fault injection: the link stops accepting packets.
+
+        Packets already transmitting or queued continue to drain (the far
+        end of a cut fiber still receives bits in flight); every *new*
+        offer is dropped and counted in ``packets_dropped_down``.
+        Idempotent.
+        """
+        if self.is_up:
+            self.is_up = False
+            self.flap_count += 1
+            if self.registry is not None:
+                self.registry.counter(f"link.{self.name}.flaps").inc()
+
+    def bring_up(self) -> None:
+        """Fault injection: the link accepts packets again.  Idempotent."""
+        self.is_up = True
 
     # ------------------------------------------------------------------
     def utilization(self, duration: float) -> float:
@@ -155,6 +185,9 @@ class Link:
         registry.gauge(f"{prefix}.packets_forwarded", fn=lambda: self.packets_forwarded)
         registry.gauge(f"{prefix}.bytes_forwarded", fn=lambda: self.bytes_forwarded)
         registry.gauge(f"{prefix}.busy_time", fn=lambda: self.busy_time)
+        registry.gauge(
+            f"{prefix}.packets_dropped_down", fn=lambda: self.packets_dropped_down
+        )
         self.queue.attach_metrics(registry)
 
     def tx_time(self, size_bytes: int) -> float:

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.experiments import Scale
-from repro.experiments.parallel import default_workers, parallel_map
+from repro.experiments.parallel import (
+    ENV_WORKERS,
+    Result,
+    RetryPolicy,
+    default_workers,
+    parallel_map,
+)
 
 
 def square(x):
@@ -15,6 +21,25 @@ def square(x):
 
 def boom(x):
     raise RuntimeError(f"worker failure on {x}")
+
+
+def boom_on_two(x):
+    if x == 2:
+        raise RuntimeError("worker failure on 2")
+    return x * x
+
+
+def succeed_second_attempt(x, attempt):
+    if attempt < 2:
+        raise RuntimeError(f"transient failure on {x}")
+    return x * x
+
+
+def slow(x):
+    import time
+
+    time.sleep(2.0)
+    return x
 
 
 class TestParallelMap:
@@ -39,8 +64,89 @@ class TestParallelMap:
         with pytest.raises(ValueError):
             parallel_map(square, [1, 2, 3], workers=2, chunksize=0)
 
+    def test_on_error_validated(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], on_error="explode")
+
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestEnvWorkers:
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert default_workers() == 3
+
+    def test_env_reaches_parallel_map(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "2")
+        items = list(range(12))
+        assert parallel_map(square, items) == [x * x for x in items]
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "zero")
+        with pytest.raises(ValueError):
+            default_workers()
+        monkeypatch.setenv(ENV_WORKERS, "0")
+        with pytest.raises(ValueError):
+            default_workers()
+
+    def test_unset_env_means_cpu_based(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert default_workers() >= 1
+
+
+class TestFaultsResilientModes:
+    """on_error policies, retries, and completed-work reporting."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_raise_mode_attaches_completed_indices(self, workers):
+        with pytest.raises(RuntimeError) as exc_info:
+            parallel_map(boom_on_two, [0, 1, 2, 3], workers=workers)
+        done = exc_info.value.completed_indices
+        assert 2 not in done
+        assert set(done) <= {0, 1, 3}
+        if workers == 1:
+            assert done == [0, 1]  # serial order: everything before the failure
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_skip_mode_returns_results(self, workers):
+        out = parallel_map(boom_on_two, [1, 2, 3], workers=workers, on_error="skip")
+        assert all(isinstance(r, Result) for r in out)
+        assert [r.ok for r in out] == [True, False, True]
+        assert out[0].value == 1 and out[2].value == 9
+        assert "worker failure on 2" in out[1].error_text
+        assert out[1].attempts == 1  # skip never retries
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_mode_recovers_transients(self, workers):
+        out = parallel_map(
+            succeed_second_attempt, [1, 2, 3], workers=workers,
+            on_error="retry", retry=RetryPolicy(retries=2, base=0.0),
+            pass_attempt=True,
+        )
+        assert [r.ok for r in out] == [True, True, True]
+        assert [r.value for r in out] == [1, 4, 9]
+        assert all(r.attempts == 2 for r in out)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_mode_exhausts_to_failure(self, workers):
+        out = parallel_map(
+            boom, [5], workers=workers,
+            on_error="retry", retry=RetryPolicy(retries=1, base=0.0),
+        )
+        assert not out[0].ok
+        assert out[0].attempts == 2
+
+    def test_timeout_produces_item_timeout(self):
+        out = parallel_map(
+            slow, [1, 2], workers=2, on_error="skip", timeout=0.25,
+        )
+        assert all(not r.ok for r in out)
+        assert all("ItemTimeoutError" in r.error_text for r in out)
+
+    def test_timeout_validated(self):
+        with pytest.raises(ValueError):
+            parallel_map(square, [1], timeout=0.0)
 
 
 TINY = Scale(

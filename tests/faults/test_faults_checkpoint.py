@@ -1,0 +1,88 @@
+"""Tests for JSON-lines checkpoints (write/load/resume semantics)."""
+
+import json
+
+import pytest
+
+from repro.faults import Checkpoint, CheckpointError
+from repro.faults.checkpoint import ENV_CHECKPOINT_DIR, checkpoint_path_from_env
+
+pytestmark = pytest.mark.faults
+
+
+class TestCheckpointRoundTrip:
+    def test_empty_when_no_file(self, tmp_path):
+        ck = Checkpoint(tmp_path / "none.jsonl")
+        assert ck.load() == {}
+
+    def test_append_then_load(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Checkpoint(path, meta={"kind": "t", "seed": 7}) as ck:
+            ck.append(0, {"x": 1.5})
+            ck.append(2, {"x": [1.0, 2.0]})
+        loaded = Checkpoint(path, meta={"kind": "t", "seed": 7}).load()
+        assert loaded == {0: {"x": 1.5}, 2: {"x": [1.0, 2.0]}}
+
+    def test_floats_roundtrip_exactly(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        ugly = 0.1 + 0.2  # not representable prettily
+        with Checkpoint(path) as ck:
+            ck.append(0, {"v": ugly})
+        assert Checkpoint(path).load()[0]["v"] == ugly
+
+    def test_reopen_appends_without_second_meta(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with Checkpoint(path, meta={"kind": "t"}) as ck:
+            ck.append(0, {})
+        with Checkpoint(path, meta={"kind": "t"}) as ck:
+            ck.append(1, {})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # one meta + two records
+        assert Checkpoint(path, meta={"kind": "t"}).load().keys() == {0, 1}
+
+
+class TestCheckpointCorruption:
+    def _write(self, tmp_path, meta=None):
+        path = tmp_path / "run.jsonl"
+        with Checkpoint(path, meta=meta or {"kind": "t", "seed": 1}) as ck:
+            for i in range(3):
+                ck.append(i, {"i": i})
+        return path
+
+    def test_truncated_final_line_dropped(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 8])  # rip the last record mid-line
+        loaded = Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
+        assert loaded.keys() == {0, 1}
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = self._write(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:5]  # corrupt a non-final record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
+
+    def test_meta_mismatch_raises(self, tmp_path):
+        path = self._write(tmp_path, meta={"kind": "t", "seed": 1})
+        with pytest.raises(CheckpointError, match="different run"):
+            Checkpoint(path, meta={"kind": "t", "seed": 2}).load()
+
+    def test_non_record_line_raises(self, tmp_path):
+        path = self._write(tmp_path)
+        with path.open("a") as fh:
+            fh.write(json.dumps({"not": "a record"}) + "\n")
+            fh.write(json.dumps({"i": 9, "record": {}}) + "\n")
+        with pytest.raises(CheckpointError, match="not a checkpoint record"):
+            Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
+
+
+class TestEnvPath:
+    def test_unset_means_none(self, monkeypatch):
+        monkeypatch.delenv(ENV_CHECKPOINT_DIR, raising=False)
+        assert checkpoint_path_from_env("fig4") is None
+
+    def test_dir_joined_with_name(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_CHECKPOINT_DIR, str(tmp_path))
+        assert checkpoint_path_from_env("fig4") == tmp_path / "fig4.jsonl"

@@ -24,6 +24,19 @@ class TestCampaign:
         _, b = small_campaign(seed=7, n=10, duration=10.0)
         np.testing.assert_array_equal(a.all_intervals_rtt(), b.all_intervals_rtt())
 
+    def test_workers_do_not_change_results(self):
+        """Campaign determinism across execution modes: every experiment
+        re-derives its randomness from (seed, path, index), so a process
+        pool cannot change the dataset."""
+        camp_s = Campaign(seed=7, probe_config=ProbeConfig(duration=10.0))
+        serial = camp_s.run(10, workers=1)
+        camp_p = Campaign(seed=7, probe_config=ProbeConfig(duration=10.0))
+        parallel = camp_p.run(10, workers=3)
+        assert serial.fingerprint() == parallel.fingerprint()
+        np.testing.assert_array_equal(
+            serial.all_intervals_rtt(), parallel.all_intervals_rtt()
+        )
+
     def test_different_seeds_differ(self):
         _, a = small_campaign(seed=7, n=10, duration=10.0)
         _, b = small_campaign(seed=8, n=10, duration=10.0)

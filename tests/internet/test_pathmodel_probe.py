@@ -181,3 +181,27 @@ class TestValidatePair:
     def test_too_few_losses_rejected(self):
         a, b = self._runs(0.0001, 0.0001)
         assert not validate_pair(a, b, min_losses=10)
+
+    def test_zero_loss_both_rejected(self):
+        # No losses at all: nothing to compare, rejected (not a divide
+        # error) — a path that dropped nothing carries no interval data.
+        a, b = self._runs(0.0, 0.0)
+        assert not validate_pair(a, b)
+
+    def test_one_sided_loss_rejected(self):
+        # One run lossless, the other lossy: dissimilar by definition.
+        a, b = self._runs(0.0, 0.02)
+        assert not validate_pair(a, b)
+        a, b = self._runs(0.02, 0.0)
+        assert not validate_pair(a, b)
+
+    def test_swapped_sizes_raise(self):
+        # Passing (large, small) is a harness bug, not a measurement.
+        a, b = self._runs(0.01, 0.012)
+        with pytest.raises(ValueError, match="expects .small, large."):
+            validate_pair(b, a)
+
+    def test_equal_sizes_tolerated(self):
+        a, b = self._runs(0.01, 0.012)
+        b.packet_size = a.packet_size
+        assert validate_pair(a, b)  # same-size similarity check still runs

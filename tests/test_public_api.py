@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.emulation",
     "repro.experiments",
     "repro.extensions",
+    "repro.faults",
     "repro.internet",
     "repro.obs",
     "repro.sim",
