@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test check-invariants faults bench bench-paper figures examples clean
+.PHONY: install test check-invariants faults report bench bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: check-invariants faults
+test: check-invariants faults report
 	$(PYTHON) -m pytest tests/
 
 # Conservation smoke: run the two simulator-heavy figures with the
@@ -27,6 +27,15 @@ faults:
 	PYTHONPATH=src $(PYTHON) -m repro.faults.smoke
 	PYTHONPATH=src $(PYTHON) -m pytest -q -k faults
 
+# Flight-recorder smoke: record a telemetry-armed fig2, render its
+# report twice (once automatically via --report, once via the report
+# command), and validate the required sections are present and ordered.
+report:
+	rm -rf runs/smoke
+	PYTHONPATH=src $(PYTHON) -m repro fig2 --telemetry-out runs/smoke --report
+	PYTHONPATH=src $(PYTHON) -m repro report runs/smoke --html > /dev/null
+	PYTHONPATH=src $(PYTHON) -c "from pathlib import Path; from repro.obs import validate_report; validate_report(Path('runs/smoke/report.md').read_text()); print('report: ok')"
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
@@ -40,5 +49,5 @@ examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
 
 clean:
-	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis figures metrics
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis figures metrics runs
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -7,6 +7,8 @@ They catch performance regressions that would make paper-scale runs
 impractical.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -17,6 +19,7 @@ from repro.core import (
     interval_pdf,
     loss_intervals,
 )
+from repro.obs import observe_run
 from repro.sim import DumbbellConfig, Simulator, build_dumbbell
 from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue
@@ -111,3 +114,71 @@ def test_perf_gilbert_fit(benchmark):
     seq = (rng.random(1_000_000) < 0.02).astype(np.int8)
     model = benchmark(fit_gilbert, seq)
     assert 0 <= model.loss_rate <= 1
+
+
+# --------------------------------------------------------------------------
+# Flight-recorder overhead
+# --------------------------------------------------------------------------
+
+
+def _fig2_scale_workload(observe):
+    """One fig2-scale TCP transfer; optionally wired through observe_run."""
+    sim = Simulator()
+    db = build_dumbbell(
+        sim, DumbbellConfig(bottleneck_rate_bps=20e6, buffer_pkts=100)
+    )
+    pairs = [db.add_pair(rtt=0.02 + 0.01 * i) for i in range(4)]
+    flows = []
+    for i, pair in enumerate(pairs):
+        snd = NewRenoSender(sim, pair.left, i + 1, pair.right.node_id,
+                            total_packets=500)
+        sink = TcpSink(sim, pair.right, i + 1, pair.left.node_id)
+        flows.append((snd, sink))
+    if observe:
+        obs = observe_run(sim, db, "bench", flows=flows)
+        for snd, _ in flows:
+            snd.start()
+        with obs.profiled():
+            sim.run(until=20.0)
+        obs.finalize(duration=20.0)
+    else:
+        for snd, _ in flows:
+            snd.start()
+        sim.run(until=20.0)
+    return sim.events_processed
+
+
+def test_perf_disabled_telemetry_overhead(monkeypatch):
+    """The disabled flight-recorder path must cost <5% vs a bare run.
+
+    With every observability knob unset, observe_run returns an inert
+    observation: no samplers are scheduled and the event loop runs
+    unprofiled.  Min-of-N wall times (interleaved to ride out machine
+    noise) keep this honest.
+    """
+    for knob in ("REPRO_TELEMETRY", "REPRO_TELEMETRY_OUT", "REPRO_REPORT",
+                 "REPRO_METRICS_OUT", "REPRO_CHECK_INVARIANTS",
+                 "REPRO_FAULTS"):
+        monkeypatch.delenv(knob, raising=False)
+    _fig2_scale_workload(observe=True)  # warm caches/JIT-free but fair
+    bare, disabled = [], []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        n_bare = _fig2_scale_workload(observe=False)
+        t1 = time.perf_counter()
+        n_obs = _fig2_scale_workload(observe=True)
+        t2 = time.perf_counter()
+        bare.append(t1 - t0)
+        disabled.append(t2 - t1)
+        assert n_obs == n_bare  # identical event stream either way
+    ratio = min(disabled) / min(bare)
+    assert ratio < 1.05, f"disabled-telemetry overhead {ratio:.3f}x"
+
+
+def test_perf_enabled_sampler_cost(benchmark, monkeypatch, tmp_path):
+    """Record (not bound) the cost of a fully armed flight recorder."""
+    monkeypatch.setenv("REPRO_TELEMETRY_OUT", str(tmp_path / "run"))
+    monkeypatch.setenv("REPRO_TELEMETRY_STRIDE", "0.05")
+    events = benchmark(_fig2_scale_workload, True)
+    assert events > 0
+    assert (tmp_path / "run" / "telemetry.json").exists()

@@ -26,6 +26,14 @@ files there so interrupted runs resume; ``--inject-faults SEED`` arms a
 seed-reproducible fault plan (link flaps, loss spikes, probe crashes).
 Each flag sets the corresponding ``REPRO_*`` environment variable for the
 duration of the run, so drivers pick them up without new parameters.
+
+Flight-recorder flags (see :mod:`repro.obs`): ``--telemetry-out DIR``
+arms per-run telemetry samplers and span tracing and writes the flight
+record (``manifest.json`` / ``telemetry.json`` / ``spans.jsonl`` /
+``metrics.json``) into DIR (one subdirectory per experiment when several
+run); ``--report`` additionally renders ``report.md`` there.  A recorded
+run directory renders later with ``python -m repro report <run-dir>``;
+reports are byte-identical across runs of the same seed.
 """
 
 from __future__ import annotations
@@ -136,15 +144,44 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
 }
 
 
+#: --help epilog: every REPRO_* knob next to the flag that sets it, so
+#: flag/env parity is documented in one place (docs/API.md mirrors it).
+_ENV_EPILOG = """\
+environment knobs (set by the flags above, or directly):
+  REPRO_SCALE              scenario scale, fast|paper       (--scale)
+  REPRO_METRICS_OUT        metrics JSON path                (--metrics-out)
+  REPRO_CHECK_INVARIANTS   1 = verify conservation          (--check-invariants)
+  REPRO_CHECK_INTERVAL     sim-seconds between sweeps       (default 1.0)
+  REPRO_WORKERS            worker process count             (--workers)
+  REPRO_ON_ERROR           raise|skip|retry                 (--on-error)
+  REPRO_CHECKPOINT_DIR     campaign checkpoint directory    (--checkpoint-dir)
+  REPRO_FAULTS             fault-plan seed                  (--inject-faults)
+  REPRO_TELEMETRY_OUT      flight-record run directory      (--telemetry-out)
+  REPRO_TELEMETRY          1 = in-memory telemetry only     (no flag)
+  REPRO_TELEMETRY_STRIDE   sampler stride, sim-seconds      (default 0.05)
+  REPRO_TELEMETRY_SAMPLES  per-series sample bound          (default 512)
+  REPRO_REPORT             1 = auto-render report.md        (--report)
+"""
+
+
 def _build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures/tables from the packet-loss-burstiness paper.",
+        epilog=_ENV_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list"],
-        help="which figure/table to regenerate ('list' to enumerate)",
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report"],
+        help="which figure/table to regenerate ('list' to enumerate; "
+        "'report' renders a recorded telemetry run directory)",
+    )
+    p.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="run directory for the 'report' command (ignored otherwise)",
     )
     p.add_argument("--seed", type=int, default=1, help="experiment seed (default 1)")
     p.add_argument(
@@ -203,6 +240,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm a seed-reproducible fault plan (link flaps, loss spikes, "
         "probe crashes) — for exercising the resilience machinery",
     )
+    p.add_argument(
+        "--telemetry-out",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="record flight telemetry (time-series samplers, phase spans) "
+        "and write the run directory to DIR (per-experiment subdirectory "
+        "when several experiments run)",
+    )
+    p.add_argument(
+        "--report",
+        action="store_true",
+        help="auto-render report.md into the telemetry run directory at "
+        "the end of each run (implies nothing without --telemetry-out)",
+    )
+    p.add_argument(
+        "--html",
+        action="store_true",
+        help="with the 'report' command: also render report.html",
+    )
     return p
 
 
@@ -213,6 +270,33 @@ def _metrics_path(base: str, experiment: str, multi: bool) -> str:
     p = Path(base)
     suffix = p.suffix if p.suffix else ".json"
     return str(p.with_name(f"{p.stem}.{experiment}{suffix}"))
+
+
+def _telemetry_dir(base: str, experiment: str, multi: bool) -> str:
+    """Per-experiment run directory: one subdirectory each when several
+    experiments share one ``--telemetry-out`` root."""
+    return str(Path(base) / experiment) if multi else base
+
+
+def _run_report(target: Optional[str], html: bool) -> int:
+    """The ``report`` command: render a recorded run directory."""
+    from repro.obs.report import ReportError, generate_report, write_report
+
+    if not target:
+        print(
+            "usage: repro report <run-dir>  (a directory written by "
+            "--telemetry-out)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        path = write_report(target, html=html)
+    except ReportError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 1
+    print(generate_report(target), end="")
+    print(f"[report written to {path}]", file=sys.stderr)
+    return 0
 
 
 def _resolve_scale(name: Optional[str]):
@@ -226,6 +310,9 @@ def _resolve_scale(name: Optional[str]):
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+
+    if args.experiment == "report":
+        return _run_report(args.target, html=args.html)
 
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)
@@ -241,7 +328,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # through every runner signature (see repro.obs.runtime).
     from repro.experiments.parallel import ENV_WORKERS
     from repro.faults import ENV_CHECKPOINT_DIR, ENV_FAULTS, ENV_ON_ERROR
-    from repro.obs.runtime import ENV_CHECK_INVARIANTS, ENV_METRICS_OUT
+    from repro.obs.runtime import ENV_CHECK_INVARIANTS, ENV_METRICS_OUT, ENV_REPORT
+    from repro.obs.telemetry import ENV_TELEMETRY_OUT
 
     saved_env = {
         k: os.environ.get(k)
@@ -252,6 +340,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ENV_ON_ERROR,
             ENV_CHECKPOINT_DIR,
             ENV_FAULTS,
+            ENV_TELEMETRY_OUT,
+            ENV_REPORT,
         )
     }
     if args.check_invariants:
@@ -264,12 +354,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.environ[ENV_CHECKPOINT_DIR] = args.checkpoint_dir
     if args.inject_faults is not None:
         os.environ[ENV_FAULTS] = str(args.inject_faults)
+    if args.report:
+        os.environ[ENV_REPORT] = "1"
     try:
         for name in names:
             runner, desc = EXPERIMENTS[name]
             if args.metrics_out:
                 os.environ[ENV_METRICS_OUT] = _metrics_path(
                     args.metrics_out, name, multi=len(names) > 1
+                )
+            if args.telemetry_out:
+                os.environ[ENV_TELEMETRY_OUT] = _telemetry_dir(
+                    args.telemetry_out, name, multi=len(names) > 1
                 )
             print(f"=== {desc} ===")
             t0 = time.perf_counter()

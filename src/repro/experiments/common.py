@@ -120,19 +120,29 @@ def observe_experiment(
     db: Optional[Dumbbell] = None,
     name: str = "run",
     flows: Iterable[tuple] = (),
+    tracer=None,
+    manifest: Optional[dict] = None,
 ) -> RunObservation:
     """Attach the observability layer to a figure-reproduction run.
 
     Resolves configuration from the environment (the ``repro`` CLI's
-    ``--metrics-out`` / ``--check-invariants`` flags set it): when enabled,
-    the run gets a metrics registry over the engine, bottleneck links,
-    queues, and TCP flows, plus periodic packet-conservation checks.
+    ``--metrics-out`` / ``--check-invariants`` / ``--telemetry-out`` flags
+    set it): when enabled, the run gets a metrics registry over the
+    engine, bottleneck links, queues, and TCP flows, plus periodic
+    packet-conservation checks; with telemetry armed it also gets
+    flight-recorder samplers and writes a run directory at finalize.
     Drivers wrap their main ``sim.run`` in ``obs.profiled()`` and call
     ``obs.finalize(duration)`` after analysis, which performs the teardown
     invariant sweep and writes the metrics JSON next to the results.  When
     no observability is requested the returned handle is inert and free.
+
+    ``tracer`` is the driver's :func:`repro.obs.maybe_tracer` span tracer
+    (``None`` when tracing is off); ``manifest`` seeds the run manifest
+    (seed, scale, parameters) written with the flight record.
     """
-    return observe_run(sim, db=db, name=name, flows=flows)
+    return observe_run(
+        sim, db=db, name=name, flows=flows, tracer=tracer, manifest=manifest
+    )
 
 
 def random_rtts(n: int, streams: RngStreams, lo: float = 0.002, hi: float = 0.200) -> np.ndarray:

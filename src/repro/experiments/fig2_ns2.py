@@ -30,6 +30,7 @@ from repro.experiments.common import (
     observe_experiment,
     random_rtts,
 )
+from repro.obs.spans import maybe_tracer, span
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
@@ -79,42 +80,55 @@ def run_fig2(
     sc = current_scale(scale)
     streams = RngStreams(seed)
     sim = Simulator()
+    tracer = maybe_tracer("fig2", sim=sim)
 
-    rtts = random_rtts(sc.n_tcp_flows, streams)
-    mean_rtt = float(rtts.mean())
-    cfg = DumbbellConfig(bottleneck_rate_bps=sc.capacity_bps)
-    buffer_pkts = max(4, int(cfg.bdp_packets(mean_rtt) * buffer_bdp_fraction))
-    cfg.buffer_pkts = buffer_pkts
-    db = build_dumbbell(sim, cfg)
+    with span(tracer, "setup", seed=seed, scale=sc.name):
+        rtts = random_rtts(sc.n_tcp_flows, streams)
+        mean_rtt = float(rtts.mean())
+        cfg = DumbbellConfig(bottleneck_rate_bps=sc.capacity_bps)
+        buffer_pkts = max(4, int(cfg.bdp_packets(mean_rtt) * buffer_bdp_fraction))
+        cfg.buffer_pkts = buffer_pkts
+        db = build_dumbbell(sim, cfg)
 
-    start_rng = streams.stream("starts")
-    flows = []
-    for i, rtt in enumerate(rtts):
-        pair = db.add_pair(rtt=float(rtt), name=f"tcp{i}")
-        fid = 100 + i
-        snd = sender_cls(sim, pair.left, fid, pair.right.node_id, total_packets=None)
-        sink = TcpSink(sim, pair.right, fid, pair.left.node_id)
-        flows.append((snd, sink))
-        snd.start(float(start_rng.uniform(0.0, 0.5)))
+        start_rng = streams.stream("starts")
+        flows = []
+        for i, rtt in enumerate(rtts):
+            pair = db.add_pair(rtt=float(rtt), name=f"tcp{i}")
+            fid = 100 + i
+            snd = sender_cls(sim, pair.left, fid, pair.right.node_id, total_packets=None)
+            sink = TcpSink(sim, pair.right, fid, pair.left.node_id)
+            flows.append((snd, sink))
+            snd.start(float(start_rng.uniform(0.0, 0.5)))
 
-    add_noise_fleet(sim, db, streams, sc.n_noise_flows, sc.noise_load)
-    obs = observe_experiment(sim, db=db, name="fig2", flows=flows)
-    with obs.profiled():
+        add_noise_fleet(sim, db, streams, sc.n_noise_flows, sc.noise_load)
+        obs = observe_experiment(
+            sim, db=db, name="fig2", flows=flows, tracer=tracer,
+            manifest={
+                "seed": seed,
+                "scale": sc.name,
+                "buffer_bdp_fraction": buffer_bdp_fraction,
+                "buffer_pkts": buffer_pkts,
+                "sender": sender_cls.__name__,
+                "mean_rtt": round(mean_rtt, 9),
+            },
+        )
+    with span(tracer, "run", until=sc.measure_duration), obs.profiled():
         sim.run(until=sc.measure_duration)
 
-    drop_times = db.drop_trace.drop_times()
-    intervals = intervals_from_trace(drop_times, mean_rtt)
-    pdf = interval_pdf(intervals)
-    poisson = poisson_reference_pdf(pdf.rate_per_rtt(), pdf.edges)
-    result = Fig2Result(
-        pdf=pdf,
-        poisson=poisson,
-        frac_001=fraction_within(intervals, 0.01),
-        frac_1=fraction_within(intervals, 1.0),
-        comparison=compare_to_poisson(intervals),
-        n_drops=len(drop_times),
-        mean_rtt=mean_rtt,
-        bottleneck_utilization=db.bottleneck_fwd.utilization(sc.measure_duration),
-    )
+    with span(tracer, "analyze"):
+        drop_times = db.drop_trace.drop_times()
+        intervals = intervals_from_trace(drop_times, mean_rtt)
+        pdf = interval_pdf(intervals)
+        poisson = poisson_reference_pdf(pdf.rate_per_rtt(), pdf.edges)
+        result = Fig2Result(
+            pdf=pdf,
+            poisson=poisson,
+            frac_001=fraction_within(intervals, 0.01),
+            frac_1=fraction_within(intervals, 1.0),
+            comparison=compare_to_poisson(intervals),
+            n_drops=len(drop_times),
+            mean_rtt=mean_rtt,
+            bottleneck_utilization=db.bottleneck_fwd.utilization(sc.measure_duration),
+        )
     obs.finalize(duration=sc.measure_duration)
     return result

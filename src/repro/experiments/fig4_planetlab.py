@@ -38,6 +38,7 @@ from repro.faults import (
 )
 from repro.internet.campaign import Campaign, CampaignResult
 from repro.internet.probe import ProbeConfig
+from repro.obs.runtime import open_flight_log
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -115,15 +116,32 @@ def run_fig4(
         probe_config=ProbeConfig(duration=sc.campaign_probe_duration),
         fault_plan=fault_plan,
     )
-    result = camp.run(
-        sc.campaign_experiments,
-        workers=workers,
-        on_error=on_error,
-        checkpoint=checkpoint_path_from_env("fig4"),
+    # Campaigns have no single simulator clock: the flight record is a
+    # parent-side FlightLog (manifest + per-experiment spans + fault
+    # events relayed from the workers' result records).
+    flight = open_flight_log(
+        "fig4",
+        manifest={
+            "seed": seed,
+            "scale": sc.name,
+            "n_experiments": sc.campaign_experiments,
+            "probe_duration": sc.campaign_probe_duration,
+            "on_error": on_error,
+            "fault_plan": None if fault_plan is None else fault_plan.describe(),
+        },
     )
+    with flight.span("campaign", n=sc.campaign_experiments):
+        result = camp.run(
+            sc.campaign_experiments,
+            workers=workers,
+            on_error=on_error,
+            checkpoint=checkpoint_path_from_env("fig4"),
+            tracer=flight.tracer,
+        )
     intervals = result.all_intervals_rtt()
     pdf = interval_pdf(intervals)
     poisson = poisson_reference_pdf(pdf.rate_per_rtt(), pdf.edges)
+    flight.finalize()
     return Fig4Result(
         pdf=pdf,
         poisson=poisson,

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.report import format_series
 from repro.experiments.common import Scale, current_scale, observe_experiment
+from repro.obs.spans import maybe_tracer, span
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
@@ -88,38 +89,51 @@ def run_fig7(
     sc = current_scale(scale)
     streams = RngStreams(seed)
     sim = Simulator()
-    cfg = DumbbellConfig(bottleneck_rate_bps=sc.fig7_capacity_bps)
-    cfg.buffer_pkts = max(4, int(cfg.bdp_packets(rtt) * buffer_bdp_fraction))
-    db = build_dumbbell(sim, cfg)
-    tp = ThroughputTrace(bin_width=bin_width)
+    tracer = maybe_tracer("fig7", sim=sim)
 
-    start_rng = streams.stream("starts")
-    n = sc.fig7_flows_per_class
-    flows = []
-    for i in range(n):
-        pair = db.add_pair(rtt=rtt, name=f"nr{i}")
-        fid = 100 + i
-        snd = NewRenoSender(sim, pair.left, fid, pair.right.node_id)
-        sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
-        tp.assign(fid, GROUP_NEWRENO)
-        flows.append((snd, sink))
-        snd.start(float(start_rng.uniform(0.0, 0.1)))
-    for i in range(n):
-        pair = db.add_pair(rtt=rtt, name=f"pc{i}")
-        fid = 200 + i
-        snd = PacedSender(sim, pair.left, fid, pair.right.node_id, base_rtt=rtt)
-        sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
-        tp.assign(fid, GROUP_PACING)
-        flows.append((snd, sink))
-        snd.start(float(start_rng.uniform(0.0, 0.1)))
+    with span(tracer, "setup", seed=seed, scale=sc.name):
+        cfg = DumbbellConfig(bottleneck_rate_bps=sc.fig7_capacity_bps)
+        cfg.buffer_pkts = max(4, int(cfg.bdp_packets(rtt) * buffer_bdp_fraction))
+        db = build_dumbbell(sim, cfg)
+        tp = ThroughputTrace(bin_width=bin_width)
 
-    obs = observe_experiment(sim, db=db, name="fig7", flows=flows)
-    with obs.profiled():
+        start_rng = streams.stream("starts")
+        n = sc.fig7_flows_per_class
+        flows = []
+        for i in range(n):
+            pair = db.add_pair(rtt=rtt, name=f"nr{i}")
+            fid = 100 + i
+            snd = NewRenoSender(sim, pair.left, fid, pair.right.node_id)
+            sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
+            tp.assign(fid, GROUP_NEWRENO)
+            flows.append((snd, sink))
+            snd.start(float(start_rng.uniform(0.0, 0.1)))
+        for i in range(n):
+            pair = db.add_pair(rtt=rtt, name=f"pc{i}")
+            fid = 200 + i
+            snd = PacedSender(sim, pair.left, fid, pair.right.node_id, base_rtt=rtt)
+            sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
+            tp.assign(fid, GROUP_PACING)
+            flows.append((snd, sink))
+            snd.start(float(start_rng.uniform(0.0, 0.1)))
+
+        obs = observe_experiment(
+            sim, db=db, name="fig7", flows=flows, tracer=tracer,
+            manifest={
+                "seed": seed,
+                "scale": sc.name,
+                "rtt": rtt,
+                "buffer_bdp_fraction": buffer_bdp_fraction,
+                "flows_per_class": n,
+            },
+        )
+    with span(tracer, "run", until=sc.fig7_duration), obs.profiled():
         sim.run(until=sc.fig7_duration)
-    obs.finalize(duration=sc.fig7_duration)
 
-    t, nr = tp.series(GROUP_NEWRENO, until=sc.fig7_duration - 1e-9)
-    _, pc = tp.series(GROUP_PACING, until=sc.fig7_duration - 1e-9)
+    with span(tracer, "analyze"):
+        t, nr = tp.series(GROUP_NEWRENO, until=sc.fig7_duration - 1e-9)
+        _, pc = tp.series(GROUP_PACING, until=sc.fig7_duration - 1e-9)
+    obs.finalize(duration=sc.fig7_duration)
     return Fig7Result(
         times=t,
         newreno_mbps=nr,

@@ -21,6 +21,7 @@ from repro.apps.parallel_transfer import ParallelTransfer, ParallelTransferConfi
 from repro.core.report import format_table
 from repro.experiments.common import Scale, add_noise_fleet, current_scale
 from repro.faults import Result, on_error_from_env
+from repro.obs.runtime import open_flight_log
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
@@ -162,7 +163,26 @@ def run_fig8(
         for n in sc.fig8_flow_counts
         for rep in range(sc.fig8_repetitions)
     ]
-    results = parallel_map(_run_cell_args, jobs, workers=workers, on_error=on_error)
+    # The grid has no single simulator clock, so the flight record is a
+    # parent-side FlightLog: manifest + one retroactive span per cell
+    # repetition, logged at the fan-in point of parallel_map.
+    flight = open_flight_log(
+        "fig8",
+        manifest={
+            "seed": seed,
+            "scale": sc.name,
+            "total_bytes": sc.fig8_total_bytes,
+            "flow_counts": list(sc.fig8_flow_counts),
+            "rtts": list(sc.fig8_rtts),
+            "repetitions": sc.fig8_repetitions,
+            "on_error": on_error,
+        },
+    )
+    with flight.span("grid", jobs=len(jobs)):
+        results = parallel_map(
+            _run_cell_args, jobs, workers=workers, on_error=on_error,
+            tracer=flight.tracer, span_name="fig8.cell",
+        )
 
     by_cell: dict[tuple[int, float], list[float]] = {}
     failures: list[tuple[int, float, str]] = []
@@ -183,6 +203,20 @@ def run_fig8(
         if len(finite) == 0:
             finite = np.array([np.nan])
         cells[(n, rtt)] = summarize_latencies(n, rtt, finite)
+    flight.telemetry = {
+        "flows": [],
+        "raster": None,
+        "series": {},
+        "cells": {
+            f"{n}x{rtt}": {
+                "mean": round(st.mean, 6) if st.mean == st.mean else None,
+                "std": round(st.std, 6) if st.std == st.std else None,
+                "n": int(len(st.samples)),
+            }
+            for (n, rtt), st in sorted(cells.items())
+        },
+    }
+    flight.finalize()
     return Fig8Result(
         cells=cells,
         total_bytes=sc.fig8_total_bytes,

@@ -90,6 +90,8 @@ def parallel_map(
     timeout: Optional[float] = None,
     pass_attempt: bool = False,
     on_result: Optional[Callable[[Result], None]] = None,
+    tracer=None,
+    span_name: str = "item",
 ) -> Union[list[R], list[Result]]:
     """Order-preserving, failure-policied map over ``items``.
 
@@ -106,6 +108,11 @@ def parallel_map(
     called with each item's final :class:`Result` as it completes —
     checkpoint writers hook in here.  With ``pass_attempt`` the callable
     receives the 1-based attempt number as a second argument.
+
+    ``tracer`` (a :class:`repro.obs.SpanTracer`, parent-side) records one
+    retroactive ``span_name`` span per item as it completes, carrying the
+    item's index, outcome, and attempt count — workers cannot reach the
+    tracer, so item spans are logged here at the fan-in point.
     """
     if on_error not in ON_ERROR_POLICIES:
         raise ValueError(
@@ -123,6 +130,16 @@ def parallel_map(
             retries=0, base=policy.base, factor=policy.factor,
             max_delay=policy.max_delay, jitter=policy.jitter,
         )
+    if tracer is not None:
+        user_on_result = on_result
+
+        def on_result(res: Result, _user=user_on_result) -> None:
+            tracer.record_span(
+                span_name, index=res.index, ok=res.ok, attempts=res.attempts
+            )
+            if _user is not None:
+                _user(res)
+
     items = list(items)
     if workers is None:
         workers = _env_workers()

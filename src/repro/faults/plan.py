@@ -183,6 +183,7 @@ class FaultPlan:
         #: Realized injections by kind (counted where the plan executes).
         self.injected: dict[str, int] = {}
         self._registry: Optional["MetricsRegistry"] = None
+        self._observers: list = []
 
     # -- construction ----------------------------------------------------
     def add_link_flap(
@@ -280,11 +281,20 @@ class FaultPlan:
         """Count realized injections as ``faults.injected.<kind>``."""
         self._registry = registry
 
+    def add_observer(self, fn) -> None:
+        """Register ``fn(kind, amount)`` to be called on every realized
+        injection (the span tracer hooks in here so injections show up as
+        trace events).  Observers, like the registry, do not pickle to
+        workers — campaign injections are relayed via the result records."""
+        self._observers.append(fn)
+
     def record(self, kind: str, amount: int = 1) -> None:
         """Note ``amount`` realized injections of ``kind``."""
         self.injected[kind] = self.injected.get(kind, 0) + amount
         if self._registry is not None:
             self._registry.counter(f"faults.injected.{kind}").inc(amount)
+        for fn in self._observers:
+            fn(kind, amount)
 
     def describe(self) -> dict:
         """JSON-able static spec of the plan (what *would* be injected)."""
@@ -318,6 +328,7 @@ class FaultPlan:
         # count via the returned records instead.
         state = self.__dict__.copy()
         state["_registry"] = None
+        state["_observers"] = []
         return state
 
     # -- simulator leg ---------------------------------------------------

@@ -299,6 +299,7 @@ class Campaign:
         retry: Optional[RetryPolicy] = None,
         timeout: Optional[float] = None,
         checkpoint: Optional[Union[str, Path]] = None,
+        tracer=None,
     ) -> CampaignResult:
         """Run ``n_experiments`` random-pair measurements, spread uniformly
         over the campaign's three-month clock.
@@ -314,6 +315,13 @@ class Campaign:
         durably logged as they finish, and a rerun pointing at the same
         file skips them, resuming exactly where the interrupted run
         stopped.
+
+        ``tracer`` (a :class:`repro.obs.SpanTracer`, parent-side) records
+        one span per experiment at the fan-in point and a ``fault.<kind>``
+        event for every injection the workers realized — injections travel
+        back in the result records (worker processes cannot reach the
+        tracer), and injected probe crashes are inferred from the armed
+        plan plus each item's attempt count.
         """
         if n_experiments <= 0:
             raise ValueError(f"need a positive experiment count, got {n_experiments}")
@@ -351,9 +359,23 @@ class Campaign:
         retried: dict[int, int] = {}
 
         def note(res: Result) -> None:
+            if tracer is not None and self.fault_plan is not None:
+                idx = int(todo[res.index][3])
+                crash = self.fault_plan.crashes.get(idx)
+                if crash is not None:
+                    # Crashed attempts never return a record; reconstruct
+                    # them from the armed plan and the attempt count (a
+                    # surviving item burned attempts-1 crashes, a dead one
+                    # all of its attempts, capped at what was armed).
+                    n = min(crash.crashes, res.attempts - (1 if res.ok else 0))
+                    if n > 0:
+                        tracer.event("fault.probe_crash", count=n, index=idx)
             if not res.ok:
                 return
             exp_index = int(res.value["index"])
+            if tracer is not None:
+                for kind, count in sorted(res.value.get("injected", {}).items()):
+                    tracer.event(f"fault.{kind}", count=int(count), index=exp_index)
             if res.attempts > 1:
                 retried[exp_index] = res.attempts
             records[exp_index] = res.value
@@ -365,6 +387,7 @@ class Campaign:
                 _experiment_worker, todo, workers=workers,
                 on_error=on_error, retry=retry, timeout=timeout,
                 pass_attempt=True, on_result=note,
+                tracer=tracer, span_name="campaign.experiment",
             )
         finally:
             if ckpt is not None:

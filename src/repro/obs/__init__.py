@@ -17,9 +17,22 @@ counters the simulator already keeps into an active regression fence:
 ``EventLoopProfile``
     Event-loop statistics (events/sec, heap size, cancelled-event ratio,
     per-callback-type timing) captured by ``Simulator.profile()``.
+``FlightRecorder`` / ``TimeSeries``
+    Flight-recorder telemetry: fixed-stride samplers off the simulator
+    clock into bounded (stride-decimating) time series — per-flow cwnd /
+    srtt / pacing rate, queue depth, link state — plus the loss-burst
+    raster (:mod:`repro.obs.telemetry`).
+``SpanTracer``
+    Nested phase/span tracing with point events (fault injections land
+    here), exported as JSON-lines (:mod:`repro.obs.spans`).
+``generate_report`` / ``write_report``
+    Deterministic Markdown/HTML run reports rendered from a telemetry
+    run directory — ``python -m repro report <run-dir>``
+    (:mod:`repro.obs.report`).
 
-:mod:`repro.obs.runtime` wires all three into experiment drivers and the
-``repro`` CLI (``--metrics-out`` / ``--check-invariants``).
+:mod:`repro.obs.runtime` wires everything into experiment drivers and the
+``repro`` CLI (``--metrics-out`` / ``--check-invariants`` /
+``--telemetry-out`` / ``--report``).
 """
 
 from repro.obs.invariants import (
@@ -29,22 +42,67 @@ from repro.obs.invariants import (
     check_link,
     check_queue,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    atomic_write_text,
+)
 from repro.obs.profiling import EventLoopProfile
-from repro.obs.runtime import RunObservation, observe_run, observation_config
+from repro.obs.report import (
+    ReportError,
+    generate_html_report,
+    generate_report,
+    sparkline,
+    validate_report,
+    write_report,
+)
+from repro.obs.runtime import (
+    FlightLog,
+    RunObservation,
+    observation_config,
+    observe_run,
+    open_flight_log,
+    report_enabled,
+)
+from repro.obs.spans import SpanTracer, maybe_tracer, span
+from repro.obs.telemetry import (
+    FlightRecorder,
+    TimeSeries,
+    loss_raster,
+    telemetry_config,
+)
 
 __all__ = [
     "Counter",
     "EventLoopProfile",
+    "FlightLog",
+    "FlightRecorder",
     "FlowBinding",
     "Gauge",
     "Histogram",
     "InvariantChecker",
     "InvariantViolation",
     "MetricsRegistry",
+    "ReportError",
     "RunObservation",
+    "SpanTracer",
+    "TimeSeries",
+    "atomic_write_text",
     "check_link",
     "check_queue",
+    "generate_html_report",
+    "generate_report",
+    "loss_raster",
+    "maybe_tracer",
     "observation_config",
     "observe_run",
+    "open_flight_log",
+    "report_enabled",
+    "span",
+    "sparkline",
+    "telemetry_config",
+    "validate_report",
+    "write_report",
 ]

@@ -371,17 +371,16 @@ class InvariantChecker:
     def attach(self, sim: "Simulator", interval: float) -> None:
         """Check every ``interval`` sim-seconds while the sim has work.
 
-        The periodic event re-arms itself only while other events are
-        pending, so it never keeps an otherwise-finished run alive.
+        The periodic event (:meth:`Simulator.schedule_every`) re-arms
+        itself only while other events are pending, so it never keeps an
+        otherwise-finished run alive.
         """
         if interval <= 0:
             raise ValueError(f"check interval must be positive, got {interval}")
-        sim.schedule(interval, self._periodic, sim, interval)
+        sim.schedule_every(interval, self._periodic, sim)
 
-    def _periodic(self, sim: "Simulator", interval: float) -> None:
+    def _periodic(self, sim: "Simulator") -> None:
         self.check_all(now=sim.now, idle=False)
-        if sim.pending > 0:
-            sim.schedule(interval, self._periodic, sim, interval)
 
     def final_check(self, sim: Optional["Simulator"] = None) -> int:
         """Teardown sweep; flow equality applies if the loop has drained."""

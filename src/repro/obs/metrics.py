@@ -17,10 +17,34 @@ are a convention, not a hierarchy.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "atomic_write_text"]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + rename).
+
+    Matches the crash-safety discipline of
+    :func:`repro.sim.tracefile.save_drop_trace`: a crash mid-write leaves
+    either the previous file or nothing — never a truncated artifact.
+    Parent directories are created as needed; returns the written path.
+    """
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    tmp = p.with_name(f".{p.name}.tmp-{os.getpid()}")
+    try:
+        with tmp.open("w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, p)
+    finally:
+        if tmp.exists():  # a failed write: leave no temp litter behind
+            tmp.unlink()
+    return p
 
 
 class Counter:
@@ -187,11 +211,13 @@ class MetricsRegistry:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
 
     def write_json(self, path: Union[str, Path]) -> Path:
-        """Write the registry to ``path``; returns the resolved path."""
-        p = Path(path)
-        p.parent.mkdir(parents=True, exist_ok=True)
-        p.write_text(self.to_json() + "\n")
-        return p
+        """Write the registry to ``path`` atomically; returns the path.
+
+        Uses the tmp + fsync + rename discipline (same as tracefile
+        archives), so a run crashing mid-export never leaves a truncated
+        metrics file behind.
+        """
+        return atomic_write_text(path, self.to_json() + "\n")
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -4,13 +4,22 @@
 building their scenario: it resolves the observability configuration
 (explicit arguments > environment), attaches a
 :class:`~repro.obs.metrics.MetricsRegistry` to the simulator / links /
-queues / flows, arms periodic conservation checks, and hands back a
+queues / flows, arms periodic conservation checks, optionally arms the
+:class:`~repro.obs.telemetry.FlightRecorder` samplers and a
+:class:`~repro.obs.spans.SpanTracer`, and hands back a
 :class:`RunObservation` whose ``profiled()`` context wraps the
 ``sim.run`` call and whose ``finalize()`` performs the teardown invariant
-sweep and writes the metrics JSON next to the run's results.
+sweep and writes the metrics JSON — and, when telemetry is armed, the
+full flight record (``manifest.json`` / ``telemetry.json`` /
+``spans.jsonl`` / ``metrics.json``) into the run directory, plus
+``report.md`` when auto-reporting is on.
 
-Environment variables (set by ``repro.cli``'s ``--metrics-out`` /
-``--check-invariants`` flags, or directly):
+Drivers with no single simulator (the fig8 grid, Internet campaigns) use
+:func:`open_flight_log` instead: a parent-side :class:`FlightLog` that
+carries the manifest and span tracer and writes the same run-directory
+layout at the end.
+
+Environment variables (set by ``repro.cli``'s flags, or directly):
 
 ``REPRO_METRICS_OUT``
     Path to write the metrics JSON to (empty/unset: no file).
@@ -25,36 +34,68 @@ Environment variables (set by ``repro.cli``'s ``--metrics-out`` /
     ``--inject-faults``).  Injected drops are accounted separately
     (``packets_dropped_down``, ``faults.injected.*`` counters), so the
     conservation invariants hold with injection armed.
+``REPRO_TELEMETRY_OUT`` / ``REPRO_TELEMETRY`` /
+``REPRO_TELEMETRY_STRIDE`` / ``REPRO_TELEMETRY_SAMPLES``
+    Flight-recorder knobs — see :mod:`repro.obs.telemetry`.  The CLI's
+    ``--telemetry-out`` sets the first.
+``REPRO_REPORT``
+    Truthy to auto-render ``report.md`` into the telemetry run directory
+    at finalize (the CLI's ``--report``).
 
 When no knob is on, :func:`observe_run` returns a disabled observation
 whose every method is a cheap no-op, so instrumented drivers cost nothing
-by default.
+by default (bound enforced by ``benchmarks/test_perf_micro.py``).
 """
 
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.obs.invariants import InvariantChecker
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, atomic_write_text
+from repro.obs.spans import SpanTracer
+from repro.obs.telemetry import FlightRecorder, telemetry_config
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
     from repro.sim.topology import Dumbbell
 
-__all__ = ["observation_config", "observe_run", "RunObservation"]
+__all__ = [
+    "observation_config",
+    "observe_run",
+    "RunObservation",
+    "FlightLog",
+    "open_flight_log",
+    "report_enabled",
+    "ENV_REPORT",
+]
 
 ENV_METRICS_OUT = "REPRO_METRICS_OUT"
 ENV_CHECK_INVARIANTS = "REPRO_CHECK_INVARIANTS"
 ENV_CHECK_INTERVAL = "REPRO_CHECK_INTERVAL"
+ENV_REPORT = "REPRO_REPORT"
 
 #: Default sim-time spacing of periodic conservation sweeps (seconds).
 DEFAULT_CHECK_INTERVAL = 1.0
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: REPRO_* knobs snapshotted into run manifests.  Path-valued knobs
+#: (REPRO_*_OUT, REPRO_CHECKPOINT_DIR) are deliberately excluded: the
+#: report must be byte-identical for the same seed regardless of where
+#: the artifacts land.
+_MANIFEST_KNOBS = (
+    "REPRO_SCALE",
+    "REPRO_FAULTS",
+    "REPRO_CHECK_INVARIANTS",
+    "REPRO_CHECK_INTERVAL",
+    "REPRO_TELEMETRY_STRIDE",
+    "REPRO_TELEMETRY_SAMPLES",
+)
 
 
 def observation_config() -> tuple[Optional[str], bool, float]:
@@ -66,8 +107,47 @@ def observation_config() -> tuple[Optional[str], bool, float]:
     return out, check, interval
 
 
+def report_enabled() -> bool:
+    """True when ``$REPRO_REPORT`` asks for auto-rendered run reports."""
+    return os.environ.get(ENV_REPORT, "").strip().lower() in _TRUTHY
+
+
+def _knob_snapshot() -> dict[str, str]:
+    """The manifest's view of the non-path REPRO_* environment knobs."""
+    return {k: os.environ[k] for k in _MANIFEST_KNOBS if os.environ.get(k)}
+
+
+def _write_run_dir(
+    run_dir: Path,
+    manifest: dict,
+    telemetry: Optional[dict],
+    tracer: Optional[SpanTracer],
+    registry: Optional[MetricsRegistry],
+) -> Path:
+    """Write the flight-record artifacts (each one atomically)."""
+    atomic_write_text(
+        run_dir / "manifest.json",
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+    )
+    if telemetry is not None:
+        atomic_write_text(
+            run_dir / "telemetry.json",
+            json.dumps(telemetry, indent=2, sort_keys=True) + "\n",
+        )
+    if tracer is not None:
+        tracer.write_jsonl(run_dir / "spans.jsonl")
+    if registry is not None:
+        registry.write_json(run_dir / "metrics.json")
+    if report_enabled():
+        from repro.obs.report import write_report
+
+        write_report(run_dir)
+    return run_dir
+
+
 class RunObservation:
-    """Handle tying one experiment run to its metrics/invariants/profile.
+    """Handle tying one experiment run to its metrics/invariants/profile
+    and (when telemetry is armed) its flight record.
 
     Disabled instances (``enabled=False``) are inert: ``profiled()`` is a
     null context and ``finalize()`` returns ``None`` — drivers call both
@@ -81,6 +161,10 @@ class RunObservation:
         registry: Optional[MetricsRegistry] = None,
         checker: Optional[InvariantChecker] = None,
         metrics_path: Optional[Union[str, Path]] = None,
+        recorder: Optional[FlightRecorder] = None,
+        tracer: Optional[SpanTracer] = None,
+        run_dir: Optional[Union[str, Path]] = None,
+        manifest: Optional[dict] = None,
     ):
         self.sim = sim
         self.name = name
@@ -91,6 +175,12 @@ class RunObservation:
         self.profile_stats: Optional[dict] = None
         self.fault_plan = None  # armed by observe_run when $REPRO_FAULTS is set
         self._duration_links: list = []
+        self.recorder = recorder
+        self.tracer = tracer
+        self.run_dir = Path(run_dir) if run_dir else None
+        self.manifest = dict(manifest or {})
+        self._flows: list[tuple] = []
+        self.db: Optional["Dumbbell"] = None  # set by observe_run
 
     # -- wiring ---------------------------------------------------------
     def watch_link(self, link) -> None:
@@ -102,6 +192,9 @@ class RunObservation:
         self._duration_links.append(link)
         if self.checker is not None:
             self.checker.add_link(link)
+        if self.recorder is not None:
+            self.recorder.watch_link(link)
+            self.recorder.watch_queue(link.queue)
 
     def watch_flow(self, sender, sink=None, drop_traces: Iterable = (),
                    traces_complete: bool = False) -> None:
@@ -110,11 +203,20 @@ class RunObservation:
             return
         assert self.registry is not None
         sender.attach_metrics(self.registry)
+        self._flows.append((sender, sink))
         if self.checker is not None:
             self.checker.add_flow(
                 sender, sink=sink, drop_traces=drop_traces,
                 traces_complete=traces_complete,
             )
+        if self.recorder is not None:
+            self.recorder.watch_flow(sender)
+
+    def span(self, name: str, **attrs):
+        """A tracer span when tracing is armed, else a null context."""
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        return self.tracer.span(name, **attrs)
 
     # -- execution ------------------------------------------------------
     def profiled(self):
@@ -126,6 +228,8 @@ class RunObservation:
 
     @contextlib.contextmanager
     def _profiled_impl(self):
+        if self.recorder is not None:
+            self.recorder.start()
         prof = None
         try:
             with self.sim.profile() as prof:
@@ -136,8 +240,11 @@ class RunObservation:
             if prof is not None:
                 self.profile_stats = prof.as_dict()
 
-    def finalize(self, duration: Optional[float] = None) -> Optional[dict]:
-        """Teardown: final invariant sweep, utilization gauges, JSON write.
+    def finalize(
+        self, duration: Optional[float] = None, db: Optional["Dumbbell"] = None
+    ) -> Optional[dict]:
+        """Teardown: final invariant sweep, utilization gauges, JSON write,
+        and (telemetry armed) the flight-record run directory.
 
         Raises :class:`~repro.obs.InvariantViolation` if a conservation
         identity fails.  Returns the exported metrics dict (``None`` when
@@ -161,10 +268,100 @@ class RunObservation:
                 "plan": self.fault_plan.describe(),
                 "injected": dict(self.fault_plan.injected),
             }
+        if self.recorder is not None:
+            self.recorder.stop()
+            if db is None:
+                db = self.db
+            trace = db.drop_trace if db is not None else None
+            if trace is not None and duration is not None and duration > 0:
+                self.recorder.set_raster(trace.drop_times(), duration)
+            for sender, sink in self._flows:
+                self.recorder.add_flow_summary(sender, sink=sink, duration=duration)
         data = self.registry.as_dict()
         if self.metrics_path is not None:
             self.registry.write_json(self.metrics_path)
+        if self.run_dir is not None:
+            manifest = {
+                "name": self.name,
+                "duration": duration,
+                "env": _knob_snapshot(),
+                **self.manifest,
+            }
+            if self.fault_plan is not None:
+                manifest["fault_plan"] = self.fault_plan.describe()
+            _write_run_dir(
+                self.run_dir,
+                manifest,
+                self.recorder.as_dict() if self.recorder is not None else None,
+                self.tracer,
+                self.registry,
+            )
         return data
+
+
+class FlightLog:
+    """Parent-side flight record for drivers without a single simulator.
+
+    The fig8 grid and Internet campaigns run many short simulations in a
+    process pool; no one :class:`Simulator` clock spans the whole driver.
+    A ``FlightLog`` carries the run manifest and a wall-clock-only
+    :class:`SpanTracer` (one span per cell / pool item, fault events from
+    workers relayed parent-side) and writes the same run-directory layout
+    as :meth:`RunObservation.finalize`.
+
+    Disabled instances (telemetry off) are inert, mirroring
+    :class:`RunObservation`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        manifest: Optional[dict] = None,
+        run_dir: Optional[Union[str, Path]] = None,
+        tracer: Optional[SpanTracer] = None,
+    ):
+        self.name = name
+        self.manifest = dict(manifest or {})
+        self.run_dir = Path(run_dir) if run_dir else None
+        self.tracer = tracer
+        self.enabled = tracer is not None or self.run_dir is not None
+        #: Optional telemetry payload (e.g. aggregated per-cell series)
+        #: exported as ``telemetry.json`` when set.
+        self.telemetry: Optional[dict] = None
+
+    def span(self, name: str, **attrs):
+        """A tracer span when tracing is armed, else a null context."""
+        if self.tracer is None:
+            return contextlib.nullcontext()
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event (no-op when tracing is off)."""
+        if self.tracer is not None:
+            self.tracer.event(name, **attrs)
+
+    def finalize(self) -> Optional[Path]:
+        """Write the run directory (``None`` when disabled or in-memory)."""
+        if self.run_dir is None:
+            return None
+        manifest = {"name": self.name, "env": _knob_snapshot(), **self.manifest}
+        return _write_run_dir(
+            self.run_dir, manifest, self.telemetry, self.tracer, registry=None
+        )
+
+
+def open_flight_log(name: str, manifest: Optional[dict] = None) -> FlightLog:
+    """Env-gated :class:`FlightLog` constructor for parent-side drivers.
+
+    Returns a disabled (inert) log unless telemetry is armed — the same
+    zero-cost contract as :func:`observe_run`'s disabled path.
+    """
+    cfg = telemetry_config()
+    if not cfg.enabled:
+        return FlightLog(name)
+    return FlightLog(
+        name, manifest=manifest, run_dir=cfg.out_dir, tracer=SpanTracer(name)
+    )
 
 
 def observe_run(
@@ -175,6 +372,8 @@ def observe_run(
     metrics_out: Optional[Union[str, Path]] = None,
     check_invariants: Optional[bool] = None,
     check_interval: Optional[float] = None,
+    tracer: Optional[SpanTracer] = None,
+    manifest: Optional[dict] = None,
 ) -> RunObservation:
     """Wire observability into one experiment run.
 
@@ -184,6 +383,11 @@ def observe_run(
     making their teardown conservation check exact.  Arguments left at
     ``None`` fall back to the environment (see module docstring); when
     everything is off, the returned observation is disabled and free.
+
+    ``tracer`` (usually from :func:`repro.obs.spans.maybe_tracer`) attaches
+    phase tracing; fault injections recorded by the armed plan become span
+    events on it.  ``manifest`` seeds the run manifest written alongside
+    the telemetry export (drivers put seed/scale/parameters there).
     """
     env_out, env_check, env_interval = observation_config()
     if metrics_out is None:
@@ -192,6 +396,7 @@ def observe_run(
         check_invariants = env_check
     if check_interval is None:
         check_interval = env_interval
+    tcfg = telemetry_config()
 
     from repro.faults.plan import FaultPlan, fault_seed_from_env
 
@@ -203,21 +408,39 @@ def observe_run(
         # scenario input, observability an optional lens on it.
         fault_plan = FaultPlan.sample_sim(fault_seed)
         fault_plan.arm_links(sim, (db.bottleneck_fwd, db.bottleneck_rev))
+        if tracer is not None:
+            # Every injection the plan records becomes a span event,
+            # stamped with the tracer's (sim) clock at injection time.
+            fault_plan.add_observer(
+                lambda kind, amount: tracer.event(f"fault.{kind}", count=amount)
+            )
 
-    if not metrics_out and not check_invariants:
-        obs = RunObservation(sim, name=name)
+    if not metrics_out and not check_invariants and not tcfg.enabled:
+        obs = RunObservation(sim, name=name, tracer=tracer)
         obs.fault_plan = fault_plan
         return obs
+
+    run_dir = tcfg.out_dir
+    if run_dir is not None and not metrics_out:
+        metrics_out = run_dir / "metrics.json"
 
     registry = MetricsRegistry(name)
     if fault_plan is not None:
         fault_plan.attach_metrics(registry)
     sim.attach_metrics(registry)
     checker = InvariantChecker(registry) if check_invariants else None
+    recorder = (
+        FlightRecorder(sim, stride=tcfg.stride, max_samples=tcfg.max_samples)
+        if tcfg.enabled
+        else None
+    )
     obs = RunObservation(
-        sim, name=name, registry=registry, checker=checker, metrics_path=metrics_out
+        sim, name=name, registry=registry, checker=checker,
+        metrics_path=metrics_out, recorder=recorder, tracer=tracer,
+        run_dir=run_dir, manifest=manifest,
     )
     obs.fault_plan = fault_plan
+    obs.db = db
 
     if db is not None:
         obs.watch_link(db.bottleneck_fwd)

@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.profiling import EventLoopProfile
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "RepeatingEvent", "Simulator", "SimulationError"]
 
 #: Compaction is skipped below this heap size: rebuilding a tiny heap
 #: costs more bookkeeping than the cancelled corpses ever will.
@@ -69,6 +69,52 @@ class Event:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time:.6f} seq={self.seq} {state}>"
+
+
+class RepeatingEvent:
+    """Handle to a self-rearming periodic callback (see
+    :meth:`Simulator.schedule_every`).
+
+    The underlying event re-arms itself after every firing *only while the
+    simulator has other pending work*, so a recurring sampler or checker
+    never keeps an otherwise-finished run alive.  :meth:`cancel` stops the
+    recurrence permanently (idempotent).
+    """
+
+    __slots__ = ("sim", "interval", "fn", "args", "fires", "cancelled", "_event")
+
+    def __init__(self, sim: "Simulator", interval: float, fn: Callable[..., Any], args: tuple):
+        if interval <= 0:
+            raise SimulationError(f"repeat interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = float(interval)
+        self.fn = fn
+        self.args = args
+        self.fires = 0
+        self.cancelled = False
+        self._event: Optional[Event] = sim.schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        self._event = None
+        if self.cancelled:
+            return
+        self.fires += 1
+        self.fn(*self.args)
+        # Re-arm only while other live events exist: once the scenario's
+        # own work drains, the recurrence dies with it.
+        if not self.cancelled and self.sim.pending > 0:
+            self._event = self.sim.schedule(self.interval, self._fire)
+
+    def cancel(self) -> None:
+        """Stop the recurrence.  Idempotent."""
+        self.cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "armed"
+        return f"<RepeatingEvent every={self.interval:.6f}s fires={self.fires} {state}>"
 
 
 class Simulator:
@@ -129,6 +175,14 @@ class Simulator:
         ev.owner = self
         heapq.heappush(self._heap, ev)
         return ev
+
+    def schedule_every(self, interval: float, fn: Callable[..., Any], *args: Any) -> RepeatingEvent:
+        """Run ``fn(*args)`` every ``interval`` sim-seconds while the
+        simulator has other pending work (first firing one interval from
+        now).  Returns a :class:`RepeatingEvent` handle whose ``cancel()``
+        stops the recurrence.  Used by periodic samplers/checkers that must
+        never keep a finished run alive."""
+        return RepeatingEvent(self, interval, fn, args)
 
     # ------------------------------------------------------------------
     # cancelled-event bookkeeping

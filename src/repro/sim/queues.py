@@ -71,6 +71,10 @@ class Queue:
         self.dequeued = 0
         self.dropped = 0
         self.marked = 0
+        #: High-water mark of the instantaneous occupancy (packets); the
+        #: telemetry/report layer uses it to tell "buffer never filled"
+        #: from "buffer sat full" without sampling every enqueue.
+        self.peak_occupancy = 0
 
     def _fits(self, pkt: Packet) -> bool:
         if len(self._q) >= self.capacity:
@@ -104,6 +108,8 @@ class Queue:
         self._q.append(pkt)
         self.bytes += pkt.size
         self.enqueued += 1
+        if len(self._q) > self.peak_occupancy:
+            self.peak_occupancy = len(self._q)
 
     # -- observability ----------------------------------------------------
     def conservation_residuals(self) -> dict[str, int]:
@@ -128,6 +134,7 @@ class Queue:
         registry.gauge(f"{prefix}.dropped", fn=lambda: self.dropped)
         registry.gauge(f"{prefix}.marked", fn=lambda: self.marked)
         registry.gauge(f"{prefix}.occupancy", fn=lambda: len(self._q))
+        registry.gauge(f"{prefix}.peak_occupancy", fn=lambda: self.peak_occupancy)
         registry.gauge(f"{prefix}.bytes", fn=lambda: self.bytes)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -398,6 +398,17 @@ class TcpSender:
         registry.gauge(f"{prefix}.cwnd", fn=lambda: self.cwnd)
         registry.gauge(f"{prefix}.highest_acked", fn=lambda: self.highest_acked)
 
+    def pacing_rate_bps(self) -> float:
+        """Sub-RTT emission rate the current window sustains (bits/sec):
+        ``effective_window * packet_size * 8 / rtt``.  For window-based
+        senders this is the *average* rate (emission itself is bursty);
+        for :class:`repro.tcp.pacing.PacedSender` it is the actual wire
+        pacing rate.  The telemetry samplers record it per flow."""
+        rtt = self.rtt_estimate()
+        if rtt <= 0:
+            return 0.0
+        return self.effective_window * self.packet_size * 8.0 / rtt
+
     def rtt_estimate(self) -> float:
         """Current smoothed RTT (falls back to the latest sample or RTO)."""
         if self.srtt is not None:

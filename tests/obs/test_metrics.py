@@ -5,7 +5,7 @@ import math
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, atomic_write_text
 
 
 class TestCounter:
@@ -113,3 +113,33 @@ class TestMetricsRegistry:
         data = json.loads(path.read_text())
         assert data["name"] == "run2"
         assert data["counters"]["c"] == 1
+
+    def test_write_json_replaces_atomically(self, tmp_path):
+        target = tmp_path / "m.json"
+        r = MetricsRegistry("run3")
+        r.write_json(target)
+        r.counter("c").inc(2)
+        r.write_json(target)  # overwrite of an existing artifact
+        assert json.loads(target.read_text())["counters"]["c"] == 2
+        # No temp litter survives a successful write.
+        assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
+
+
+class TestAtomicWriteText:
+    def test_creates_parents_and_returns_path(self, tmp_path):
+        p = atomic_write_text(tmp_path / "a" / "b" / "out.txt", "hi")
+        assert p.read_text() == "hi"
+
+    def test_failed_write_preserves_previous_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.txt"
+        atomic_write_text(target, "old")
+
+        def boom(fd):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr("repro.obs.metrics.os.fsync", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new")
+        # Old contents intact, and the temp file was cleaned up.
+        assert target.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

@@ -4,7 +4,7 @@ import functools
 
 import pytest
 
-from repro.obs.profiling import EventLoopProfile, callback_name
+from repro.obs.profiling import CallbackStats, EventLoopProfile, callback_name
 from repro.sim.engine import Simulator
 
 
@@ -19,6 +19,66 @@ class TestCallbackName:
 
     def test_falls_back_to_type_name(self):
         assert callback_name(functools.partial(tick)) == "partial"
+
+    def test_builtin_has_qualname(self):
+        assert callback_name(len) == "len"
+
+    def test_callable_instance_without_qualname(self):
+        class Cb:
+            def __call__(self):
+                pass
+
+        assert callback_name(Cb()) == "Cb"
+
+
+class TestCallbackStats:
+    def test_starts_empty(self):
+        cs = CallbackStats()
+        assert cs.count == 0
+        assert cs.total_time == 0.0
+
+    def test_zero_count_mean_is_zero(self):
+        # No observations must not divide by zero.
+        assert CallbackStats().as_dict() == {
+            "count": 0, "total_time_s": 0.0, "mean_time_us": 0.0,
+        }
+
+    def test_mean_time_us_math(self):
+        cs = CallbackStats()
+        cs.count = 4
+        cs.total_time = 0.002  # 2 ms over 4 calls = 500 us each
+        d = cs.as_dict()
+        assert d["count"] == 4
+        assert d["total_time_s"] == pytest.approx(0.002)
+        assert d["mean_time_us"] == pytest.approx(500.0)
+
+    def test_aggregation_via_record_event(self):
+        # record_event must aggregate same-named callbacks into one bucket
+        # (counts add, durations add) and keep distinct names separate.
+        prof = EventLoopProfile()
+        prof.record_event(tick, 0.1, 1)
+        prof.record_event(tick, 0.3, 2)
+        prof.record_event(len, 0.05, 1)
+        assert set(prof.callbacks) == {"tick", "len"}
+        assert prof.callbacks["tick"].count == 2
+        assert prof.callbacks["tick"].total_time == pytest.approx(0.4)
+        assert prof.callbacks["len"].count == 1
+        assert prof.events == 3
+
+    def test_partials_share_one_fallback_bucket(self):
+        prof = EventLoopProfile()
+        prof.record_event(functools.partial(tick), 0.1, 1)
+        prof.record_event(functools.partial(len, ()), 0.2, 1)
+        assert list(prof.callbacks) == ["partial"]
+        assert prof.callbacks["partial"].count == 2
+
+    def test_cancelled_pops_counted_directly(self):
+        prof = EventLoopProfile()
+        for _ in range(3):
+            prof.record_cancelled_pop()
+        prof.record_event(tick, 0.0, 1)
+        assert prof.cancelled_popped == 3
+        assert prof.cancelled_ratio == pytest.approx(0.75)
 
 
 class TestProfileContext:

@@ -46,3 +46,59 @@ class TestCli:
         assert main(["table1", "--out", str(out)]) == 0
         text = out.read_text()
         assert text.count("Table 1") >= 2  # appended, not truncated
+
+
+class TestHelpEpilog:
+    def test_help_lists_env_knobs(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for knob in ("REPRO_TELEMETRY_OUT", "REPRO_TELEMETRY",
+                     "REPRO_TELEMETRY_STRIDE", "REPRO_TELEMETRY_SAMPLES",
+                     "REPRO_REPORT", "REPRO_SCALE", "REPRO_FAULTS"):
+            assert knob in out, knob
+        assert "--telemetry-out" in out
+        assert "--report" in out
+
+
+class TestReportCommand:
+    def _run_dir(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"name": "demo", "seed": 1}')
+        return tmp_path
+
+    def test_renders_run_dir(self, tmp_path, capsys):
+        d = self._run_dir(tmp_path)
+        assert main(["report", str(d)]) == 0
+        captured = capsys.readouterr()
+        assert "# Flight report: demo" in captured.out
+        assert (d / "report.md").exists()
+
+    def test_html_flag(self, tmp_path, capsys):
+        d = self._run_dir(tmp_path)
+        assert main(["report", str(d), "--html"]) == 0
+        assert (d / "report.html").exists()
+
+    def test_missing_target_is_usage_error(self, capsys):
+        assert main(["report"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_bad_dir_is_runtime_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 1
+        assert "report:" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_telemetry_out_records_and_reports(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY_OUT", raising=False)
+        d = tmp_path / "flight"
+        assert main(["fig2", "--seed", "3",
+                     "--telemetry-out", str(d), "--report"]) == 0
+        for name in ("manifest.json", "telemetry.json", "spans.jsonl",
+                     "report.md"):
+            assert (d / name).exists(), name
+        # Flag-set env must not leak past main().
+        import os
+        assert "REPRO_TELEMETRY_OUT" not in os.environ
+        assert "REPRO_REPORT" not in os.environ
