@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test check-invariants faults report bench bench-paper figures examples clean
+.PHONY: install test check-invariants faults report bench bench-smoke bench-micro bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: check-invariants faults report
+test: check-invariants faults report bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # Conservation smoke: run the two simulator-heavy figures with the
@@ -36,7 +36,20 @@ report:
 	PYTHONPATH=src $(PYTHON) -m repro report runs/smoke --html > /dev/null
 	PYTHONPATH=src $(PYTHON) -c "from pathlib import Path; from repro.obs import validate_report; validate_report(Path('runs/smoke/report.md').read_text()); print('report: ok')"
 
+# Tracked benchmark lane: paired baseline-vs-optimized suite, results
+# appended to the repo's BENCH_<n>.json trajectory (see docs/PERFORMANCE.md).
 bench:
+	PYTHONPATH=src $(PYTHON) -m repro bench
+
+# Tiny pinned bench run: validates the BENCH_*.json schema and the <5%
+# disabled-telemetry overhead budget.  Writes to a throwaway directory so
+# smoke numbers never pollute the trajectory.
+bench-smoke:
+	rm -rf runs/bench-smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench runs/bench-smoke --smoke
+
+# pytest-benchmark micro lane (multi-round statistical measurements).
+bench-micro:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 bench-paper:

@@ -1,0 +1,573 @@
+"""Canonical tracked benchmark harness (``python -m repro bench``).
+
+Performance claims need receipts.  This module runs the repository's
+pinned benchmark suite — scheduler and pool micro-benchmarks plus a
+scaled-down Figure 2 scenario — and writes the results to the next free
+``BENCH_<n>.json`` in the target directory, so the repo accumulates a
+perf *trajectory* instead of anecdotes.
+
+Every headline number is a **paired** measurement: the same workload runs
+on :class:`repro.sim.reference.ReferenceSimulator` (the pre-optimization
+engine, kept verbatim as a baseline and equivalence oracle) and on the
+optimized :class:`repro.sim.engine.Simulator`, in the same process, and
+both numbers land in the same file.  The scenario pair additionally
+asserts that the two engines produced *identical* drop traces — a
+speedup measured against a behavior change would be meaningless.
+
+Usage::
+
+    python -m repro bench [DIR] [--smoke]     # DIR defaults to .
+    make bench                                # full suite -> BENCH_<n>.json
+    make bench-smoke                          # tiny pinned run + schema check
+
+``--smoke`` shrinks every workload to seconds-total size, validates the
+JSON schema with :func:`validate_bench`, and checks that the disabled
+flight-recorder path costs < 5% — the regression tripwire for the
+default ``make test`` lane.  Trajectory files are append-only: never
+rewrite an existing ``BENCH_<n>.json``; later indices are later
+measurements (machines differ, so compare ratios, not absolutes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA",
+    "BenchConfig",
+    "SMOKE",
+    "FULL",
+    "run_bench",
+    "validate_bench",
+    "next_bench_path",
+    "main",
+]
+
+#: Schema tag written into (and required from) every benchmark file.
+SCHEMA = "repro-bench/1"
+
+#: Benchmark entries every file must carry, with paired baseline numbers.
+_REQUIRED_PAIRED = ("event_loop", "fig2_scaled")
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Pinned workload sizes for one benchmark run."""
+
+    name: str
+    loop_events: int  # event-loop micro: no-op callbacks scheduled
+    churn_events: int  # cancel-churn micro: handles scheduled (half cancelled)
+    pool_packets: int  # packet micro: alloc/free cycles
+    trace_records: int  # trace micro: records appended
+    analysis_drops: int  # analysis micro: synthetic drop records
+    repeats: int  # best-of repeats for the micros
+    fig2_flows: int  # scaled scenario: TCP flows
+    fig2_noise: int  # scaled scenario: noise flows
+    fig2_duration: float  # scaled scenario: simulated seconds
+    overhead_check: bool  # also measure disabled-telemetry overhead
+
+
+FULL = BenchConfig(
+    name="full",
+    loop_events=200_000,
+    churn_events=100_000,
+    pool_packets=200_000,
+    trace_records=200_000,
+    analysis_drops=200_000,
+    repeats=3,
+    fig2_flows=8,
+    fig2_noise=12,
+    fig2_duration=8.0,
+    overhead_check=False,
+)
+
+SMOKE = BenchConfig(
+    name="smoke",
+    loop_events=20_000,
+    churn_events=10_000,
+    pool_packets=20_000,
+    trace_records=20_000,
+    analysis_drops=20_000,
+    repeats=1,
+    fig2_flows=4,
+    fig2_noise=4,
+    fig2_duration=2.0,
+    overhead_check=True,
+)
+
+
+def _noop() -> None:
+    pass
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``repeats`` calls (rides out noise)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _paired(name: str, unit: str, n: int, base_s: float, opt_s: float) -> dict:
+    """One paired benchmark entry: throughputs plus the speedup ratio."""
+    return {
+        "unit": unit,
+        "n": n,
+        "baseline_wall_s": round(base_s, 6),
+        "optimized_wall_s": round(opt_s, 6),
+        "baseline": round(n / base_s, 1),
+        "optimized": round(n / opt_s, 1),
+        "speedup": round(base_s / opt_s, 3),
+    }
+
+
+# --------------------------------------------------------------------------
+# Micro-benchmarks (paired: ReferenceSimulator / pre-PR idiom vs optimized)
+# --------------------------------------------------------------------------
+
+
+def _bench_event_loop(cfg: BenchConfig) -> dict:
+    """Schedule + dispatch N no-op callbacks: Event-object heap vs the
+    slot-free ``schedule_fast`` tuple path."""
+    from repro.sim.engine import Simulator
+    from repro.sim.reference import ReferenceSimulator
+
+    n = cfg.loop_events
+
+    def baseline():
+        sim = ReferenceSimulator()
+        for i in range(n):
+            sim.schedule(i * 1e-6, _noop)
+        sim.run()
+
+    def optimized():
+        sim = Simulator()
+        for i in range(n):
+            sim.schedule_fast(i * 1e-6, _noop)
+        sim.run()
+
+    return _paired(
+        "event_loop", "events/sec", n,
+        _best_of(baseline, cfg.repeats), _best_of(optimized, cfg.repeats),
+    )
+
+
+def _bench_cancel_churn(cfg: BenchConfig) -> dict:
+    """Cancellable handles with 50% cancelled before dispatch — exercises
+    pooled Event recycling and the cancelled-pop fast discard."""
+    from repro.sim.engine import Simulator
+    from repro.sim.reference import ReferenceSimulator
+
+    n = cfg.churn_events
+
+    def drive(sim):
+        handles = [sim.schedule(i * 1e-6, _noop) for i in range(n)]
+        for h in handles[::2]:
+            h.cancel()
+        sim.run()
+
+    base = _best_of(lambda: drive(ReferenceSimulator()), cfg.repeats)
+    opt = _best_of(lambda: drive(Simulator()), cfg.repeats)
+    return _paired("cancel_churn", "events/sec", n, base, opt)
+
+
+def _bench_packet_pool(cfg: BenchConfig) -> dict:
+    """Packet alloc/free cycles: fresh objects vs the free-list pool."""
+    from repro.sim.engine import Simulator
+    from repro.sim.reference import ReferenceSimulator
+
+    n = cfg.pool_packets
+
+    def drive(sim):
+        alloc, free = sim.alloc_packet, sim.free_packet
+        for i in range(n):
+            free(alloc(1, i, 1000))
+
+    base = _best_of(lambda: drive(ReferenceSimulator()), cfg.repeats)
+    opt = _best_of(lambda: drive(Simulator()), cfg.repeats)
+    return _paired("packet_pool", "packets/sec", n, base, opt)
+
+
+class _RowDropTrace:
+    """Pre-PR row storage (Python lists + asarray), kept as the append
+    baseline for the columnar trace benchmark."""
+
+    def __init__(self):
+        self._times: list[float] = []
+        self._flow_ids: list[int] = []
+        self._seqs: list[int] = []
+        self._sizes: list[int] = []
+        self._marked: list[bool] = []
+
+    def record(self, pkt, now: float, marked: bool = False) -> None:
+        self._times.append(now)
+        self._flow_ids.append(pkt.flow_id)
+        self._seqs.append(pkt.seq)
+        self._sizes.append(pkt.size)
+        self._marked.append(marked)
+
+    def materialize(self) -> None:
+        np.asarray(self._times, dtype=np.float64)
+        np.asarray(self._flow_ids, dtype=np.int64)
+        np.asarray(self._seqs, dtype=np.int64)
+        np.asarray(self._sizes, dtype=np.int64)
+        np.asarray(self._marked, dtype=bool)
+
+    def nbytes(self) -> int:
+        cols = (self._times, self._flow_ids, self._seqs, self._sizes,
+                self._marked)
+        # List slots, plus the boxed floats backing the timestamp column
+        # (small ints and bools are interned; floats are one object each).
+        return sum(sys.getsizeof(c) for c in cols) + 32 * len(self._times)
+
+
+def _bench_trace_append(cfg: BenchConfig) -> dict:
+    """One record-then-analyze trace cycle, rows vs columns.
+
+    Appends N records, then materializes every column twice — analysis
+    reads columns repeatedly (``drop_times`` alone touches two), and the
+    row layout pays a list-to-ndarray conversion on every read where the
+    columnar layout pays a flat buffer copy.  Also reports each layout's
+    per-record memory footprint, the columnar backend's main win.
+    """
+    from repro.sim.packet import Packet
+    from repro.sim.trace import DropTrace
+
+    n = cfg.trace_records
+    pkt = Packet(flow_id=7, seq=0, size=1000)
+
+    def baseline():
+        tr = _RowDropTrace()
+        for i in range(n):
+            tr.record(pkt, i * 1e-6)
+        tr.materialize()
+        tr.materialize()
+        return tr
+
+    def optimized():
+        tr = DropTrace()
+        for i in range(n):
+            tr.record(pkt, i * 1e-6)
+        for _ in range(2):
+            tr.times, tr.flow_ids, tr.seqs, tr.sizes, tr.marked  # noqa: B018
+        return tr
+
+    entry = _paired(
+        "trace_append", "records/sec", n,
+        _best_of(baseline, cfg.repeats), _best_of(optimized, cfg.repeats),
+    )
+    columnar = optimized()
+    row_bytes = baseline().nbytes() / n
+    col_bytes = sum(
+        len(col) * col.itemsize
+        for col in (columnar._times, columnar._flow_ids, columnar._seqs,
+                    columnar._sizes, columnar._kinds)
+    ) / n
+    entry["bytes_per_record_baseline"] = round(row_bytes, 1)
+    entry["bytes_per_record_optimized"] = round(col_bytes, 1)
+    return entry
+
+
+def _synthetic_drops(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered loss timestamps + flow ids shaped like a real drop trace."""
+    rng = np.random.default_rng(0)
+    per_burst = 20
+    centers = np.sort(rng.uniform(0.0, n / 100.0, n // per_burst))
+    times = np.sort((centers[:, None] + rng.exponential(1e-4, (len(centers), per_burst))).ravel())
+    fids = rng.integers(100, 132, size=len(times), dtype=np.int64)
+    return times, fids
+
+
+def _bench_analysis(cfg: BenchConfig) -> dict:
+    """Per-event distinct-flow counts: the pre-PR per-event Python loop
+    (LossEvent objects + np.unique per event) vs the vectorized
+    span/bincount kernel — the Eq. 1–2 detection hot path."""
+    from repro.core.events import (
+        cluster_loss_events,
+        distinct_flows_per_event,
+        event_spans,
+    )
+
+    times, fids = _synthetic_drops(cfg.analysis_drops)
+    rtt = 0.05
+
+    def baseline():
+        events = cluster_loss_events(times, rtt, flow_ids=fids)
+        return [e.n_flows_hit for e in events]
+
+    def optimized():
+        spans = event_spans(times, rtt)
+        return distinct_flows_per_event(spans, fids)
+
+    return _paired(
+        "analysis_detection", "records/sec", len(times),
+        _best_of(baseline, cfg.repeats), _best_of(optimized, cfg.repeats),
+    )
+
+
+# --------------------------------------------------------------------------
+# Scaled Figure 2 scenario (paired + equivalence-checked)
+# --------------------------------------------------------------------------
+
+
+def _run_fig2_scaled(sim_cls, cfg: BenchConfig, seed: int = 1):
+    """One scaled fig2 run on the given engine; returns wall time,
+    events processed, and the full drop-trace columns."""
+    from repro.experiments.common import add_noise_fleet, random_rtts
+    from repro.sim.rng import RngStreams
+    from repro.sim.topology import DumbbellConfig, build_dumbbell
+    from repro.tcp.newreno import NewRenoSender
+    from repro.tcp.sink import TcpSink
+
+    streams = RngStreams(seed)
+    sim = sim_cls()
+    rtts = random_rtts(cfg.fig2_flows, streams)
+    mean_rtt = float(rtts.mean())
+    topo = DumbbellConfig(bottleneck_rate_bps=20e6)
+    topo.buffer_pkts = max(4, int(topo.bdp_packets(mean_rtt) * 0.5))
+    db = build_dumbbell(sim, topo)
+    start_rng = streams.stream("starts")
+    for i, rtt in enumerate(rtts):
+        pair = db.add_pair(rtt=float(rtt), name=f"tcp{i}")
+        snd = NewRenoSender(sim, pair.left, 100 + i, pair.right.node_id,
+                            total_packets=None)
+        TcpSink(sim, pair.right, 100 + i, pair.left.node_id)
+        snd.start(float(start_rng.uniform(0.0, 0.5)))
+    add_noise_fleet(sim, db, streams, cfg.fig2_noise, 0.10)
+
+    t0 = time.perf_counter()
+    sim.run(until=cfg.fig2_duration)
+    wall = time.perf_counter() - t0
+    tr = db.drop_trace
+    cols = (tr.times, tr.flow_ids, tr.seqs, tr.sizes, tr.marked)
+    return wall, sim.events_processed, cols
+
+
+def _bench_fig2_scaled(cfg: BenchConfig) -> dict:
+    """Paired scaled-fig2 runs; asserts the engines produce identical
+    drop traces before reporting the speedup."""
+    from repro.sim.engine import Simulator
+    from repro.sim.reference import ReferenceSimulator
+
+    base_wall, base_events, base_cols = _run_fig2_scaled(ReferenceSimulator, cfg)
+    opt_wall, opt_events, opt_cols = _run_fig2_scaled(Simulator, cfg)
+    identical = base_events == opt_events and all(
+        np.array_equal(b, o) for b, o in zip(base_cols, opt_cols)
+    )
+    if not identical:
+        raise AssertionError(
+            "optimized engine diverged from the reference on the scaled "
+            f"fig2 scenario (events {base_events} vs {opt_events}, "
+            f"drops {len(base_cols[0])} vs {len(opt_cols[0])})"
+        )
+    return {
+        "unit": "seconds",
+        "sim_seconds": cfg.fig2_duration,
+        "n_flows": cfg.fig2_flows + cfg.fig2_noise,
+        "n_drops": int(len(base_cols[0])),
+        "events": int(base_events),
+        "baseline_wall_s": round(base_wall, 6),
+        "optimized_wall_s": round(opt_wall, 6),
+        "baseline": round(base_events / base_wall, 1),
+        "optimized": round(opt_events / opt_wall, 1),
+        "speedup": round(base_wall / opt_wall, 3),
+        "identical_drops": True,
+    }
+
+
+def _bench_overhead(cfg: BenchConfig) -> dict:
+    """Disabled-telemetry overhead: bare run vs inert observe_run wiring
+    (min-of-N, interleaved).  Mirrors the test_perf_micro tripwire."""
+    from repro.sim.engine import Simulator
+
+    def workload(observe: bool) -> int:
+        from repro.obs import observe_run
+        from repro.sim.topology import DumbbellConfig, build_dumbbell
+        from repro.tcp.newreno import NewRenoSender
+        from repro.tcp.sink import TcpSink
+
+        sim = Simulator()
+        db = build_dumbbell(
+            sim, DumbbellConfig(bottleneck_rate_bps=20e6, buffer_pkts=100)
+        )
+        flows = []
+        for i in range(4):
+            pair = db.add_pair(rtt=0.02 + 0.01 * i)
+            snd = NewRenoSender(sim, pair.left, i + 1, pair.right.node_id,
+                                total_packets=300)
+            sink = TcpSink(sim, pair.right, i + 1, pair.left.node_id)
+            flows.append((snd, sink))
+        for snd, _ in flows:
+            snd.start()
+        if observe:
+            obs = observe_run(sim, db, "bench-overhead", flows=flows)
+            with obs.profiled():
+                sim.run(until=10.0)
+            obs.finalize(duration=10.0)
+        else:
+            sim.run(until=10.0)
+        return sim.events_processed
+
+    workload(True)  # warm-up
+    bare, wired = [], []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        workload(False)
+        t1 = time.perf_counter()
+        workload(True)
+        bare.append(t1 - t0)
+        wired.append(time.perf_counter() - t1)
+    ratio = min(wired) / min(bare)
+    return {
+        "unit": "ratio",
+        "bare_wall_s": round(min(bare), 6),
+        "disabled_telemetry_wall_s": round(min(wired), 6),
+        "overhead": round(ratio, 4),
+    }
+
+
+# --------------------------------------------------------------------------
+# Harness
+# --------------------------------------------------------------------------
+
+
+def run_bench(cfg: BenchConfig = FULL, quiet: bool = False) -> dict:
+    """Run the pinned suite and return the ``repro-bench/1`` document."""
+    benches: dict[str, dict] = {}
+    stages: list[tuple[str, Callable[[BenchConfig], dict]]] = [
+        ("event_loop", _bench_event_loop),
+        ("cancel_churn", _bench_cancel_churn),
+        ("packet_pool", _bench_packet_pool),
+        ("trace_append", _bench_trace_append),
+        ("analysis_detection", _bench_analysis),
+        ("fig2_scaled", _bench_fig2_scaled),
+    ]
+    if cfg.overhead_check:
+        stages.append(("telemetry_overhead", _bench_overhead))
+    for name, fn in stages:
+        result = fn(cfg)
+        benches[name] = result
+        if not quiet:
+            if "speedup" in result:
+                print(
+                    f"  {name:<20} {result['baseline']:>12,.0f} -> "
+                    f"{result['optimized']:>12,.0f} {result['unit']:<12} "
+                    f"({result['speedup']:.2f}x)"
+                )
+            else:
+                print(f"  {name:<20} overhead {result['overhead']:.3f}x")
+    doc = {
+        "schema": SCHEMA,
+        "mode": cfg.name,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "benchmarks": benches,
+    }
+    validate_bench(doc)
+    return doc
+
+
+def validate_bench(doc: dict) -> None:
+    """Assert ``doc`` is a well-formed ``repro-bench/1`` document.
+
+    Raises ``ValueError`` naming the first violated requirement.  Checked
+    by ``make bench-smoke`` and by tests against every file the harness
+    writes.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("bench document must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}")
+    for key in ("mode", "python", "platform", "peak_rss_kb", "benchmarks"):
+        if key not in doc:
+            raise ValueError(f"missing top-level field {key!r}")
+    if not (isinstance(doc["peak_rss_kb"], int) and doc["peak_rss_kb"] > 0):
+        raise ValueError("peak_rss_kb must be a positive integer")
+    benches = doc["benchmarks"]
+    if not isinstance(benches, dict) or not benches:
+        raise ValueError("benchmarks must be a non-empty object")
+    for name in _REQUIRED_PAIRED:
+        entry = benches.get(name)
+        if entry is None:
+            raise ValueError(f"missing required benchmark {name!r}")
+        for field in ("baseline", "optimized", "speedup",
+                      "baseline_wall_s", "optimized_wall_s"):
+            v = entry.get(field)
+            if not (isinstance(v, (int, float)) and v > 0):
+                raise ValueError(f"{name}.{field} must be a positive number")
+    if benches["fig2_scaled"].get("identical_drops") is not True:
+        raise ValueError("fig2_scaled.identical_drops must be true")
+    overhead = benches.get("telemetry_overhead")
+    if overhead is not None and not overhead.get("overhead", 99.0) < 1.05:
+        raise ValueError(
+            f"disabled-telemetry overhead {overhead.get('overhead')}x "
+            "exceeds the 5% budget"
+        )
+
+
+def next_bench_path(directory: Union[str, Path]) -> Path:
+    """Next free ``BENCH_<n>.json`` in ``directory`` (trajectory order)."""
+    d = Path(directory)
+    taken = set()
+    for p in d.glob("BENCH_*.json"):
+        stem = p.stem.removeprefix("BENCH_")
+        if stem.isdigit():
+            taken.add(int(stem))
+    n = 0
+    while n in taken:
+        n += 1
+    return d / f"BENCH_{n}.json"
+
+
+def _write_atomic(doc: dict, path: Path) -> None:
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point behind ``python -m repro bench``."""
+    import argparse
+
+    p = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the pinned benchmark suite; write BENCH_<n>.json.",
+    )
+    p.add_argument("directory", nargs="?", default=".",
+                   help="where BENCH_<n>.json files accumulate (default .)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny pinned run: schema + telemetry-overhead check, "
+                   "no trajectory significance")
+    args = p.parse_args(argv)
+
+    cfg = SMOKE if args.smoke else FULL
+    print(f"repro bench [{cfg.name}] — paired baseline vs optimized:")
+    doc = run_bench(cfg)
+    out = next_bench_path(args.directory)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    _write_atomic(doc, out)
+    fig2 = doc["benchmarks"]["fig2_scaled"]
+    loop = doc["benchmarks"]["event_loop"]
+    print(
+        f"event loop {loop['speedup']:.2f}x, fig2-scaled {fig2['speedup']:.2f}x "
+        f"(peak RSS {doc['peak_rss_kb'] / 1024:.0f} MiB)"
+    )
+    print(f"[bench written to {out}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

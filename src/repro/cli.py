@@ -10,6 +10,10 @@ Usage::
 Each command runs the corresponding experiment driver and prints the
 paper-shaped output (the same text the benchmarks print).
 
+``python -m repro bench [DIR] [--smoke]`` runs the tracked benchmark
+suite (:mod:`repro.bench`): paired baseline-vs-optimized measurements
+written to the next free ``BENCH_<n>.json`` in DIR.
+
 ``--check-invariants`` arms the packet-conservation checker
 (:mod:`repro.obs`) for drivers that support it: any accounting violation
 aborts the run with a diagnostic ``InvariantViolation``.  ``--metrics-out
@@ -173,15 +177,23 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "report"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report", "bench"],
         help="which figure/table to regenerate ('list' to enumerate; "
-        "'report' renders a recorded telemetry run directory)",
+        "'report' renders a recorded telemetry run directory; 'bench' "
+        "runs the tracked benchmark suite)",
     )
     p.add_argument(
         "target",
         nargs="?",
         default=None,
-        help="run directory for the 'report' command (ignored otherwise)",
+        help="run directory for the 'report' command / output directory "
+        "for the 'bench' command (ignored otherwise)",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with the 'bench' command: tiny pinned run that validates "
+        "the BENCH_*.json schema and telemetry overhead only",
     )
     p.add_argument("--seed", type=int, default=1, help="experiment seed (default 1)")
     p.add_argument(
@@ -313,6 +325,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "report":
         return _run_report(args.target, html=args.html)
+
+    if args.experiment == "bench":
+        from repro.bench import main as bench_main
+
+        bench_argv = [args.target] if args.target else []
+        if args.smoke:
+            bench_argv.append("--smoke")
+        return bench_main(bench_argv)
 
     if args.experiment == "list":
         width = max(len(k) for k in EXPERIMENTS)

@@ -19,6 +19,7 @@ This package is the analytical half of the paper:
 from repro.core.burstiness import (
     Burst,
     BurstinessSummary,
+    burst_sizes,
     burstiness_summary,
     cluster_bursts,
     coefficient_of_variation,
@@ -37,7 +38,9 @@ from repro.core.detection import (
 from repro.core.events import (
     LossEvent,
     cluster_loss_events,
+    distinct_flows_per_event,
     event_sizes,
+    event_spans,
     losses_per_event,
 )
 from repro.core.gilbert import (
@@ -92,6 +95,7 @@ __all__ = [
     "MethodologyComparison",
     "PoissonComparison",
     "SelfSimilarityReport",
+    "burst_sizes",
     "burstiness_summary",
     "cluster_bursts",
     "cluster_loss_events",
@@ -100,8 +104,10 @@ __all__ = [
     "compare_to_poisson",
     "conditional_loss_probability",
     "detection_ratio",
+    "distinct_flows_per_event",
     "empirical_flows_per_event",
     "event_sizes",
+    "event_spans",
     "exponential_ks_test",
     "first_bin_excess",
     "fit_gilbert",

@@ -20,6 +20,7 @@ __all__ = [
     "interval_autocorrelation",
     "Burst",
     "cluster_bursts",
+    "burst_sizes",
     "burstiness_summary",
     "BurstinessSummary",
 ]
@@ -127,6 +128,25 @@ def cluster_bursts(times: np.ndarray, gap: float) -> list[Burst]:
     ]
 
 
+def burst_sizes(times: np.ndarray, gap: float) -> np.ndarray:
+    """Per-burst loss counts at the given clustering gap, vectorized.
+
+    Same clustering rule as :func:`cluster_bursts` but returns only the
+    int64 size array, with no per-burst objects — the form the summary
+    statistics need.  Empty input yields an empty array.
+    """
+    if gap <= 0:
+        raise ValueError(f"gap must be positive, got {gap}")
+    t = np.asarray(times, dtype=np.float64)
+    if len(t) == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(np.diff(t) < 0):
+        raise ValueError("timestamps not sorted")
+    breaks = np.flatnonzero(np.diff(t) >= gap) + 1
+    bounds = np.concatenate(([0], breaks, [len(t)]))
+    return np.diff(bounds).astype(np.int64)
+
+
 @dataclass
 class BurstinessSummary:
     """One-stop statistics for a loss trace (RTT-normalized view)."""
@@ -151,15 +171,17 @@ def burstiness_summary(times: np.ndarray, rtt: float) -> BurstinessSummary:
 
     t = np.asarray(times, dtype=np.float64)
     x = intervals_from_trace(t, rtt)
-    bursts = cluster_bursts(t, gap=rtt)
-    sizes = np.array([b.count for b in bursts]) if bursts else np.array([0])
+    sizes = burst_sizes(t, gap=rtt)
+    n_bursts = len(sizes)
+    if n_bursts == 0:
+        sizes = np.array([0])
     return BurstinessSummary(
         n_losses=len(t),
         frac_within_001=fraction_within(x, 0.01) if len(x) else float("nan"),
         frac_within_1=fraction_within(x, 1.0) if len(x) else float("nan"),
         cv=coefficient_of_variation(x),
         mean_interval_rtt=float(x.mean()) if len(x) else float("nan"),
-        n_bursts=len(bursts),
+        n_bursts=n_bursts,
         mean_burst_size=float(sizes.mean()),
         max_burst_size=int(sizes.max()),
     )

@@ -13,7 +13,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LossEvent", "cluster_loss_events", "event_sizes", "losses_per_event"]
+__all__ = [
+    "LossEvent",
+    "cluster_loss_events",
+    "event_spans",
+    "distinct_flows_per_event",
+    "event_sizes",
+    "losses_per_event",
+]
 
 
 @dataclass
@@ -36,6 +43,69 @@ class LossEvent:
         return len(self.flow_ids)
 
 
+def event_spans(times: np.ndarray, rtt: float) -> np.ndarray:
+    """Event boundary indices for a sorted loss-timestamp array.
+
+    Returns an int64 array ``b`` of length ``n_events + 1`` such that event
+    ``j`` covers records ``b[j]:b[j+1]``.  Each event is the maximal prefix
+    within ``[t[i], t[i] + rtt]``: the boundary search jumps to the first
+    loss beyond the window with a binary search, so the cost is
+    O(E log N) for E events — the loss-per-event factor (huge for bursty
+    traces) is free.  This is the index-level primitive behind
+    :func:`cluster_loss_events`; vectorized analyses (e.g. the Eq. 1–2
+    detection counts) work directly on these spans without building
+    per-event objects.
+    """
+    if rtt <= 0:
+        raise ValueError(f"rtt must be positive, got {rtt}")
+    t = np.asarray(times, dtype=np.float64)
+    if len(t) == 0:
+        return np.zeros(1, dtype=np.int64)
+    if np.any(np.diff(t) < 0):
+        raise ValueError("timestamps not sorted")
+    bounds = [0]
+    n = len(t)
+    i = 0
+    while i < n:
+        i = int(np.searchsorted(t, t[i] + rtt, side="right"))
+        bounds.append(i)
+    return np.asarray(bounds, dtype=np.int64)
+
+
+def distinct_flows_per_event(
+    spans: np.ndarray,
+    flow_ids: np.ndarray,
+    record_mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Distinct-flow count per event, vectorized.
+
+    ``spans`` is the boundary array from :func:`event_spans`; ``flow_ids``
+    gives the flow id of each record.  With ``record_mask``, only records
+    where the mask is True contribute (e.g. restrict to one traffic class).
+    Returns an int64 array of length ``n_events``.
+
+    Implementation: each record gets its event index via ``np.repeat``;
+    distinct (event, flow) pairs are counted by uniquifying the combined
+    key ``event_index * flow_range + flow_offset`` and binning the event
+    part — no Python loop over events.
+    """
+    spans = np.asarray(spans, dtype=np.int64)
+    n_events = len(spans) - 1
+    fids = np.asarray(flow_ids, dtype=np.int64)
+    eidx = np.repeat(np.arange(n_events, dtype=np.int64), np.diff(spans))
+    if record_mask is not None:
+        mask = np.asarray(record_mask, dtype=bool)
+        eidx = eidx[mask]
+        fids = fids[mask]
+    if len(fids) == 0:
+        return np.zeros(n_events, dtype=np.int64)
+    fmin = int(fids.min())
+    span = int(fids.max()) - fmin + 1
+    key = eidx * span + (fids - fmin)
+    events_of_pairs = np.unique(key) // span
+    return np.bincount(events_of_pairs, minlength=n_events).astype(np.int64)
+
+
 def cluster_loss_events(
     times: np.ndarray,
     rtt: float,
@@ -47,8 +117,6 @@ def cluster_loss_events(
     the *start* of the current event (TFRC's definition, which the paper's
     sub-RTT analysis follows): every event spans at most one RTT.
     """
-    if rtt <= 0:
-        raise ValueError(f"rtt must be positive, got {rtt}")
     t = np.asarray(times, dtype=np.float64)
     if flow_ids is not None:
         fids = np.asarray(flow_ids)
@@ -56,29 +124,18 @@ def cluster_loss_events(
             raise ValueError("flow_ids must match times in shape")
     else:
         fids = np.full(t.shape, -1, dtype=np.int64)
+    spans = event_spans(t, rtt)
     if len(t) == 0:
         return []
-    if np.any(np.diff(t) < 0):
-        raise ValueError("timestamps not sorted")
-
-    # Each event is a maximal prefix within [t[i], t[i] + rtt]: jump to the
-    # first loss beyond the window with a binary search.  O(E log N) for E
-    # events — the loss-per-event factor (huge for bursty traces) is free.
-    events: list[LossEvent] = []
-    n = len(t)
-    i = 0
-    while i < n:
-        end = int(np.searchsorted(t, t[i] + rtt, side="right"))
-        events.append(
-            LossEvent(
-                start=float(t[i]),
-                end=float(t[end - 1]),
-                count=end - i,
-                flow_ids=np.unique(fids[i:end]),
-            )
+    return [
+        LossEvent(
+            start=float(t[s]),
+            end=float(t[e - 1]),
+            count=int(e - s),
+            flow_ids=np.unique(fids[s:e]),
         )
-        i = end
-    return events
+        for s, e in zip(spans[:-1], spans[1:])
+    ]
 
 
 def event_sizes(events: list[LossEvent]) -> np.ndarray:

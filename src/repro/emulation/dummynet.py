@@ -75,7 +75,7 @@ class NoisyLink(Link):
         if self.max_noise > 0:
             tx_time += float(self.rng.random()) * self.max_noise
         self.busy_time += tx_time
-        self.sim.schedule(tx_time, self._transmission_done, pkt)
+        self.sim.schedule_fast(tx_time, self._transmission_done, pkt)
 
 
 @dataclass

@@ -75,6 +75,7 @@ class LossyLink(Link):
             self.model_drops += 1
             if self.drop_trace is not None:
                 self.drop_trace.record(pkt, now, marked=False)
+            self.sim.free_packet(pkt)
             return None
         return super().send(pkt)
 

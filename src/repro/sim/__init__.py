@@ -14,6 +14,7 @@ transport protocols that run on top of it.
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.link import Link
+from repro.sim.reference import ReferenceSimulator
 from repro.sim.node import Host, Node, Router
 from repro.sim.packet import Packet
 from repro.sim.queues import (
@@ -51,6 +52,7 @@ __all__ = [
     "Packet",
     "Queue",
     "REDQueue",
+    "ReferenceSimulator",
     "RngStreams",
     "Router",
     "Simulator",

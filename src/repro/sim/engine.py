@@ -1,20 +1,40 @@
 """Event scheduler for the discrete-event network simulator.
 
-The engine is a classic binary-heap event loop.  Determinism matters for
-reproducing the paper's traces, so events scheduled for the same timestamp
-are executed in scheduling order (a monotonically increasing sequence
-number breaks ties), and all randomness lives in named RNG streams
-(:mod:`repro.sim.rng`), never in the engine.
+The engine is a classic binary-heap event loop with two hot-path
+refinements (see ``docs/PERFORMANCE.md``):
+
+* **Tuple-keyed heap entries.**  The heap holds plain tuples
+  ``(time, seq, payload, ...)`` instead of ``Event`` objects, so every
+  sift comparison is a C-level tuple comparison; the scheduling sequence
+  number is unique, which makes the ``(time, seq)`` prefix a total order
+  and guarantees the payload slots are never compared.  This is the
+  "precomputed sort key": it is built once at schedule time, never per
+  comparison.
+* **A slot-free fast path.**  :meth:`Simulator.schedule_fast` covers the
+  dominant "delay from now, will never be cancelled" case (packet
+  transmission/delivery timers) with no handle allocation at all, while
+  :meth:`Simulator.schedule` keeps returning a cancellable
+  :class:`Event` drawn from a per-simulator free list.
+
+Determinism matters for reproducing the paper's traces, so events
+scheduled for the same timestamp are executed in scheduling order (the
+monotonically increasing sequence number breaks ties — identically on
+both the fast and the slotted path, which share one counter), and all
+randomness lives in named RNG streams (:mod:`repro.sim.rng`), never in
+the engine.  A reference implementation of the original, pre-optimization
+engine is kept in :mod:`repro.sim.reference` as the benchmark baseline
+and the oracle for scheduler-equivalence tests.
 """
 
 from __future__ import annotations
 
 import contextlib
 import heapq
-import itertools
 import math
 from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from repro.sim.packet import DATA, Packet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.obs.metrics import MetricsRegistry
@@ -25,6 +45,11 @@ __all__ = ["Event", "RepeatingEvent", "Simulator", "SimulationError"]
 #: Compaction is skipped below this heap size: rebuilding a tiny heap
 #: costs more bookkeeping than the cancelled corpses ever will.
 COMPACT_MIN_HEAP = 64
+
+#: Free-list bounds: pools never grow past these, so a burst of activity
+#: cannot pin an unbounded amount of memory after it drains.
+EVENT_POOL_MAX = 4096
+PACKET_POOL_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -38,6 +63,14 @@ class Event:
     :meth:`cancel`, which is O(1) (the heap entry is left in place and
     skipped when popped, though the owning simulator compacts the heap
     once cancelled corpses outnumber live events).
+
+    Handles are **single-use**: once the callback has fired (or the
+    cancelled corpse has been discarded) the engine recycles the object
+    through a free list, so a stale handle must not be cancelled after a
+    *new* event has been scheduled — the standard discipline (followed by
+    every timer in this repository) is to null the stored handle inside
+    the callback.  Cancelling a handle that has fired but not yet been
+    reused is a safe no-op.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "owner")
@@ -64,6 +97,8 @@ class Event:
             self.owner._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
+        # Events are no longer heap-compared (the heap orders tuples); this
+        # stays for external code sorting handles by firing order.
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -120,6 +155,12 @@ class RepeatingEvent:
 class Simulator:
     """Discrete-event simulator clock and event queue.
 
+    Heap entries are 4-tuples.  ``(time, seq, fn, args)`` is a slot-free
+    fast-path entry; ``(time, seq, event, None)`` carries a cancellable
+    :class:`Event` (the ``None`` in the args slot is the discriminator).
+    Both kinds share one sequence counter, so the ``(time, seq)`` prefix
+    orders all entries exactly as the pre-optimization engine did.
+
     Example
     -------
     >>> sim = Simulator()
@@ -132,8 +173,8 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[tuple] = []
+        self._seq = 0
         self.now: float = 0.0
         self.events_processed: int = 0
         self._running = False
@@ -143,18 +184,22 @@ class Simulator:
         self.compactions = 0
         self._profiler: Optional["EventLoopProfile"] = None
         self.metrics: Optional["MetricsRegistry"] = None
-        # Per-simulator id sequences (e.g. auto-generated link names), so
-        # back-to-back simulations in one process name components
+        # Free lists (object pools).  Recycled Events come back through
+        # the run loop; recycled Packets through free_packet() at their
+        # terminal consumer (sink delivery / drop).
+        self._event_pool: list[Event] = []
+        self._packet_pool: list[Packet] = []
+        # Per-simulator id sequences (auto link names, packet uids), so
+        # back-to-back simulations in one process number components
         # deterministically regardless of what ran before.
-        self._id_counters: dict[str, Iterator[int]] = {}
+        self._id_counters: dict[str, int] = {}
+        self._packet_uid = 0
 
     def next_id(self, kind: str) -> int:
         """Next id in this simulator's ``kind`` sequence (1-based)."""
-        counter = self._id_counters.get(kind)
-        if counter is None:
-            counter = itertools.count(1)
-            self._id_counters[kind] = counter
-        return next(counter)
+        n = self._id_counters.get(kind, 0) + 1
+        self._id_counters[kind] = n
+        return n
 
     # ------------------------------------------------------------------
     # scheduling
@@ -171,10 +216,36 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: t={time:.9f} < now={self.now:.9f}"
             )
-        ev = Event(time, next(self._seq), fn, args)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, seq, fn, args)
         ev.owner = self
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, seq, ev, None))
         return ev
+
+    def schedule_fast(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Slot-free scheduling for the dominant hot-path case.
+
+        Semantically ``schedule(delay, fn, *args)`` minus the handle: no
+        :class:`Event` is allocated and the callback cannot be cancelled.
+        Packet transmission and delivery timers — the per-packet bulk of
+        any scenario — use this path.  ``delay`` must be finite and
+        non-negative.
+        """
+        if not 0.0 <= delay < math.inf:
+            raise SimulationError(f"fast-path delay must be finite and >= 0: {delay!r}")
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (self.now + delay, seq, fn, args))
 
     def schedule_every(self, interval: float, fn: Callable[..., Any], *args: Any) -> RepeatingEvent:
         """Run ``fn(*args)`` every ``interval`` sim-seconds while the
@@ -183,6 +254,71 @@ class Simulator:
         stops the recurrence.  Used by periodic samplers/checkers that must
         never keep a finished run alive."""
         return RepeatingEvent(self, interval, fn, args)
+
+    # ------------------------------------------------------------------
+    # packet pool
+    # ------------------------------------------------------------------
+    def alloc_packet(
+        self,
+        flow_id: int,
+        seq: int,
+        size: int,
+        kind: str = DATA,
+        src: int = -1,
+        dst: int = -1,
+        created: float = 0.0,
+        ecn_capable: bool = False,
+        tx_id: int = 0,
+        meta: Optional[object] = None,
+    ) -> Packet:
+        """Allocate a :class:`~repro.sim.packet.Packet`, reusing the free
+        list when possible.
+
+        Uids are drawn from a per-simulator sequence, so pooling (and
+        whatever ran earlier in the process) never perturbs the uid
+        assignment of a seeded run — back-to-back identical runs allocate
+        identical uid streams.
+        """
+        uid = self._packet_uid
+        self._packet_uid = uid + 1
+        pool = self._packet_pool
+        if pool:
+            pkt = pool.pop()
+            if size <= 0:
+                raise ValueError(f"packet size must be positive, got {size}")
+            pkt.uid = uid
+            pkt.flow_id = flow_id
+            pkt.seq = seq
+            pkt.size = size
+            pkt.kind = kind
+            pkt.src = src
+            pkt.dst = dst
+            pkt.created = created
+            pkt.ecn_capable = ecn_capable
+            pkt.ecn_marked = False
+            pkt.ecn_echo = False
+            pkt.tx_id = tx_id
+            pkt.meta = meta
+            return pkt
+        pkt = Packet(
+            flow_id, seq, size, kind=kind, src=src, dst=dst, created=created,
+            ecn_capable=ecn_capable, tx_id=tx_id, meta=meta, uid=uid,
+        )
+        return pkt
+
+    def free_packet(self, pkt: Packet) -> None:
+        """Return a packet to the free list.
+
+        Called by a packet's *terminal consumer* — the sink that absorbed
+        it or the component that dropped it — after the last read of its
+        fields.  Never call it while any other component still holds a
+        reference.  Forgetting to free is always safe (the object is
+        simply garbage-collected); freeing twice is not.
+        """
+        pool = self._packet_pool
+        if len(pool) < PACKET_POOL_MAX:
+            pkt.meta = None  # drop payload references while pooled
+            pool.append(pkt)
 
     # ------------------------------------------------------------------
     # cancelled-event bookkeeping
@@ -202,10 +338,43 @@ class Simulator:
         timer cancelling en masse).
         """
         heap = self._heap
-        heap[:] = [ev for ev in heap if not ev.cancelled]
+        live = []
+        recycle = self._recycle_event
+        for entry in heap:
+            if entry[3] is None and entry[2].cancelled:
+                entry[2].owner = None
+                recycle(entry[2])
+            else:
+                live.append(entry)
+        heap[:] = live
         heapq.heapify(heap)
         self._cancelled = 0
         self.compactions += 1
+
+    def _recycle_event(self, ev: Event) -> None:
+        """Return a fired or discarded Event handle to the free list."""
+        ev.fn = None
+        ev.args = ()
+        ev.owner = None
+        # Pooled handles read as cancelled so a stale cancel() on a fired
+        # event is a guarded no-op rather than a bookkeeping skew.
+        ev.cancelled = True
+        pool = self._event_pool
+        if len(pool) < EVENT_POOL_MAX:
+            pool.append(ev)
+
+    def _discard_cancelled_pop(self, ev: Event) -> None:
+        """Uniform bookkeeping for one cancelled corpse leaving the heap.
+
+        Shared by :meth:`run`, :meth:`step`, and :meth:`peek_time` so the
+        in-heap cancellation count, the profiler's cancelled-pop counter,
+        and handle recycling stay consistent no matter which loop drains
+        the corpse.
+        """
+        self._cancelled -= 1
+        if self._profiler is not None:
+            self._profiler.record_cancelled_pop()
+        self._recycle_event(ev)
 
     # ------------------------------------------------------------------
     # execution
@@ -222,22 +391,27 @@ class Simulator:
         self._running = True
         try:
             heap = self._heap
+            heappop = heapq.heappop
             budget = math.inf if max_events is None else max_events
             while heap and budget > 0:
-                ev = heap[0]
-                if ev.time > until:
+                entry = heap[0]
+                time = entry[0]
+                if time > until:
                     break
-                heapq.heappop(heap)
-                ev.owner = None
-                if ev.cancelled:
-                    self._cancelled -= 1
-                    if self._profiler is not None:
-                        self._profiler.record_cancelled_pop()
-                    continue
-                self.now = ev.time
-                fn, args = ev.fn, ev.args
-                ev.fn, ev.args = None, ()  # release references
-                assert fn is not None
+                heappop(heap)
+                args = entry[3]
+                if args is None:
+                    # Slotted entry: unwrap the Event handle.
+                    ev = entry[2]
+                    ev.owner = None
+                    if ev.cancelled:
+                        self._discard_cancelled_pop(ev)
+                        continue
+                    fn, args = ev.fn, ev.args
+                    self._recycle_event(ev)
+                else:
+                    fn = entry[2]
+                self.now = time
                 prof = self._profiler
                 if prof is None:
                     fn(*args)
@@ -256,15 +430,19 @@ class Simulator:
         """Execute the single next pending event.  Returns False if idle."""
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
-            ev.owner = None
-            if ev.cancelled:
-                self._cancelled -= 1
-                continue
-            self.now = ev.time
-            fn, args = ev.fn, ev.args
-            ev.fn, ev.args = None, ()
-            assert fn is not None
+            entry = heapq.heappop(heap)
+            args = entry[3]
+            if args is None:
+                ev = entry[2]
+                ev.owner = None
+                if ev.cancelled:
+                    self._discard_cancelled_pop(ev)
+                    continue
+                fn, args = ev.fn, ev.args
+                self._recycle_event(ev)
+            else:
+                fn = entry[2]
+            self.now = entry[0]
             fn(*args)
             self.events_processed += 1
             return True
@@ -273,10 +451,15 @@ class Simulator:
     def peek_time(self) -> float:
         """Timestamp of the next pending event, or ``inf`` when idle."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap).owner = None
-            self._cancelled -= 1
-        return heap[0].time if heap else math.inf
+        while heap:
+            entry = heap[0]
+            if entry[3] is None and entry[2].cancelled:
+                heapq.heappop(heap)
+                entry[2].owner = None
+                self._discard_cancelled_pop(entry[2])
+                continue
+            return entry[0]
+        return math.inf
 
     @property
     def pending(self) -> int:
@@ -324,6 +507,8 @@ class Simulator:
         registry.gauge("engine.cancelled_ratio", fn=lambda: self.cancelled_ratio)
         registry.gauge("engine.compactions", fn=lambda: self.compactions)
         registry.gauge("engine.sim_time", fn=lambda: self.now)
+        registry.gauge("engine.event_pool", fn=lambda: len(self._event_pool))
+        registry.gauge("engine.packet_pool", fn=lambda: len(self._packet_pool))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now:.6f} pending={self.pending}>"

@@ -103,6 +103,7 @@ class Link:
             self.packets_dropped_down += 1
             if self.drop_trace is not None:
                 self.drop_trace.record(pkt, now, marked=False)
+            self.sim.free_packet(pkt)
             return EnqueueResult.DROPPED
         if not self.busy and not self.queue:
             self._transmit(pkt)
@@ -111,6 +112,8 @@ class Link:
         if result is EnqueueResult.DROPPED:
             if self.drop_trace is not None:
                 self.drop_trace.record(pkt, now, marked=False)
+            # The link is the dropped packet's terminal consumer: recycle it.
+            self.sim.free_packet(pkt)
         elif result is EnqueueResult.MARKED:
             if self.drop_trace is not None:
                 self.drop_trace.record(pkt, now, marked=True)
@@ -121,12 +124,13 @@ class Link:
         self.busy = True
         tx_time = pkt.size * 8.0 / self.rate_bps
         self.busy_time += tx_time
-        self.sim.schedule(tx_time, self._transmission_done, pkt)
+        # Transmission/delivery timers are never cancelled: slot-free path.
+        self.sim.schedule_fast(tx_time, self._transmission_done, pkt)
 
     def _transmission_done(self, pkt: Packet) -> None:
         self.bytes_forwarded += pkt.size
         self.packets_forwarded += 1
-        self.sim.schedule(self.delay, self.dst.receive, pkt, self)
+        self.sim.schedule_fast(self.delay, self.dst.receive, pkt, self)
         nxt = self.queue.pop(self.sim.now)
         if nxt is not None:
             self._transmit(nxt)

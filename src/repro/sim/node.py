@@ -77,6 +77,7 @@ class Router(Node):
         out = self.route_for(pkt)
         if out is None:
             self.no_route_drops += 1
+            self.sim.free_packet(pkt)
             return
         self.packets_forwarded += 1
         out.send(pkt)
@@ -122,5 +123,6 @@ class Host(Node):
             # Packets for unknown flows (e.g. noise sinks that don't track
             # sequence state) are counted, not raised: a trace-level check.
             self.unclaimed_packets += 1
+            self.sim.free_packet(pkt)
             return
         agent.receive(pkt)

@@ -8,7 +8,6 @@ simulation on NumPy arrays extracted from traces, never per packet.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 __all__ = ["Packet", "DATA", "ACK", "PROBE", "NOISE"]
@@ -19,8 +18,6 @@ DATA = "data"
 ACK = "ack"
 PROBE = "probe"
 NOISE = "noise"
-
-_uid = itertools.count()
 
 
 class Packet:
@@ -52,6 +49,11 @@ class Packet:
     sack / meta:
         Optional protocol-specific payloads (kept as plain attributes so the
         hot path never allocates a dict).
+    uid:
+        Unique packet id.  Scoped per :class:`~repro.sim.engine.Simulator`
+        (assigned by ``Simulator.alloc_packet``) so back-to-back seeded runs
+        in one interpreter number packets identically; directly constructed
+        packets carry the ``uid`` passed in (default ``-1``, unassigned).
     """
 
     __slots__ = (
@@ -82,10 +84,11 @@ class Packet:
         ecn_capable: bool = False,
         tx_id: int = 0,
         meta: Optional[object] = None,
+        uid: int = -1,
     ):
         if size <= 0:
             raise ValueError(f"packet size must be positive, got {size}")
-        self.uid = next(_uid)
+        self.uid = uid
         self.flow_id = flow_id
         self.seq = seq
         self.size = size

@@ -56,7 +56,7 @@ class ReorderingLink(Link):
         if self.reorder_prob > 0.0 and self.rng.random() < self.reorder_prob:
             lag = self.extra_delay
             self.reordered += 1
-        self.sim.schedule(self.delay + lag, self.dst.receive, pkt, self)
+        self.sim.schedule_fast(self.delay + lag, self.dst.receive, pkt, self)
         nxt = self.queue.pop(self.sim.now)
         if nxt is not None:
             self._transmit(nxt)

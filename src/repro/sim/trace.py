@@ -2,33 +2,80 @@
 
 The paper's primary dataset is the router drop trace — a timestamp for every
 packet dropped at the bottleneck (§3.1: "We record traces from the simulated
-routers for each event in which a packet is dropped").  Traces accumulate in
-plain Python lists during the simulation (cheap appends) and convert to NumPy
-arrays once for analysis, following the HPC guides' "simulate in objects,
-analyze in arrays" split.
+routers for each event in which a packet is dropped").  Traces are stored
+**columnar**: each field accumulates in a typed ``array.array`` column
+(cheap C-level appends, ~8 bytes per value instead of a per-record Python
+object) and converts to a NumPy array on demand, following the HPC guides'
+"simulate in objects, analyze in arrays" split.  The row-record view is
+kept as a lazy iterator (:meth:`DropTrace.records`) for debugging and
+tests; analysis code should use the column properties.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from array import array
+from typing import Iterator, NamedTuple, Optional
 
 import numpy as np
 
 from repro.sim.packet import Packet
 
-__all__ = ["DropTrace", "ThroughputTrace", "FlowStats", "ArrivalTrace", "DelayTrace"]
+__all__ = [
+    "DropTrace",
+    "DropRecord",
+    "ThroughputTrace",
+    "FlowStats",
+    "ArrivalTrace",
+    "DelayTrace",
+]
+
+#: Kind codes in a drop trace's ``kinds`` column.
+KIND_DROP = 0
+KIND_MARK = 1
+
+
+def _col_f64(col: array) -> np.ndarray:
+    """Materialize a float64 ``array('d')`` column as an owning ndarray.
+
+    The copy matters: ``np.frombuffer`` exports the column's buffer, and a
+    live export would lock the ``array.array`` against further appends
+    (``BufferError`` in the hot path).
+    """
+    return np.frombuffer(col, dtype=np.float64).copy()
+
+
+def _col_i64(col: array) -> np.ndarray:
+    """Materialize an int64 ``array('q')`` column as an owning ndarray."""
+    return np.frombuffer(col, dtype=np.int64).copy()
+
+
+class DropRecord(NamedTuple):
+    """One row of a :class:`DropTrace`, materialized on demand."""
+
+    time: float
+    flow_id: int
+    seq: int
+    size: int
+    marked: bool
 
 
 class DropTrace:
-    """Timestamped record of every packet dropped (or ECN-marked) at a queue."""
+    """Timestamped record of every packet dropped (or ECN-marked) at a queue.
+
+    Storage is columnar: parallel typed columns (time, flow id, seq, size,
+    kind code) appended per record.  The ``times``/``flow_ids``/``seqs``/
+    ``sizes``/``marked`` properties return fresh NumPy arrays; iterate
+    :meth:`records` for a row view.
+    """
 
     def __init__(self, name: str = "drops"):
         self.name = name
-        self._times: list[float] = []
-        self._flow_ids: list[int] = []
-        self._seqs: list[int] = []
-        self._sizes: list[int] = []
-        self._marked: list[bool] = []
+        self._times = array("d")
+        self._flow_ids = array("q")
+        self._seqs = array("q")
+        self._sizes = array("q")
+        # Kind codes (KIND_DROP / KIND_MARK): one signed byte per record.
+        self._kinds = array("b")
 
     def record(self, pkt: Packet, now: float, marked: bool = False) -> None:
         """Append one record at the given timestamp."""
@@ -36,7 +83,7 @@ class DropTrace:
         self._flow_ids.append(pkt.flow_id)
         self._seqs.append(pkt.seq)
         self._sizes.append(pkt.size)
-        self._marked.append(marked)
+        self._kinds.append(KIND_MARK if marked else KIND_DROP)
 
     def __len__(self) -> int:
         return len(self._times)
@@ -45,27 +92,43 @@ class DropTrace:
     @property
     def times(self) -> np.ndarray:
         """Drop timestamps (seconds), in event order (non-decreasing)."""
-        return np.asarray(self._times, dtype=np.float64)
+        return _col_f64(self._times)
 
     @property
     def flow_ids(self) -> np.ndarray:
         """Per-record flow ids as an int64 array."""
-        return np.asarray(self._flow_ids, dtype=np.int64)
+        return _col_i64(self._flow_ids)
 
     @property
     def seqs(self) -> np.ndarray:
         """Per-record sequence numbers as an int64 array."""
-        return np.asarray(self._seqs, dtype=np.int64)
+        return _col_i64(self._seqs)
 
     @property
     def sizes(self) -> np.ndarray:
         """Per-record packet sizes (bytes) as an int64 array."""
-        return np.asarray(self._sizes, dtype=np.int64)
+        return _col_i64(self._sizes)
+
+    @property
+    def kinds(self) -> np.ndarray:
+        """Per-record kind codes (:data:`KIND_DROP` / :data:`KIND_MARK`)."""
+        return np.frombuffer(self._kinds, dtype=np.int8).copy()
 
     @property
     def marked(self) -> np.ndarray:
         """Per-record ECN-marked flags as a bool array."""
-        return np.asarray(self._marked, dtype=bool)
+        return np.frombuffer(self._kinds, dtype=np.int8) == KIND_MARK
+
+    def records(self) -> Iterator[DropRecord]:
+        """Lazy row view: yield one :class:`DropRecord` per record."""
+        for i in range(len(self._times)):
+            yield DropRecord(
+                self._times[i],
+                self._flow_ids[i],
+                self._seqs[i],
+                self._sizes[i],
+                self._kinds[i] == KIND_MARK,
+            )
 
     def drop_times(self) -> np.ndarray:
         """Timestamps of true drops only (ECN marks excluded)."""
@@ -83,12 +146,13 @@ class DropTrace:
 
 class ArrivalTrace:
     """Timestamped record of packet arrivals at a queue (for burstiness
-    analysis of the *arrival* process, e.g. validating Figures 5/6)."""
+    analysis of the *arrival* process, e.g. validating Figures 5/6).
+    Columnar storage, like :class:`DropTrace`."""
 
     def __init__(self, name: str = "arrivals"):
         self.name = name
-        self._times: list[float] = []
-        self._flow_ids: list[int] = []
+        self._times = array("d")
+        self._flow_ids = array("q")
 
     def record(self, pkt: Packet, now: float) -> None:
         """Append one record at the given timestamp."""
@@ -101,12 +165,12 @@ class ArrivalTrace:
     @property
     def times(self) -> np.ndarray:
         """Record timestamps (seconds) in event order."""
-        return np.asarray(self._times, dtype=np.float64)
+        return _col_f64(self._times)
 
     @property
     def flow_ids(self) -> np.ndarray:
         """Per-record flow ids as an int64 array."""
-        return np.asarray(self._flow_ids, dtype=np.int64)
+        return _col_i64(self._flow_ids)
 
 
 class DelayTrace:
@@ -115,14 +179,14 @@ class DelayTrace:
     Records ``arrival_time - pkt.created``; the queueing component is the
     excess over the observed minimum (propagation + serialization floor).
     The direct observable behind bufferbloat and the delay-based control
-    of :mod:`repro.tcp.fast`.
+    of :mod:`repro.tcp.fast`.  Columnar storage, like :class:`DropTrace`.
     """
 
     def __init__(self, name: str = "delay"):
         self.name = name
-        self._times: list[float] = []
-        self._delays: list[float] = []
-        self._flow_ids: list[int] = []
+        self._times = array("d")
+        self._delays = array("d")
+        self._flow_ids = array("q")
 
     def record(self, pkt: Packet, now: float) -> None:
         """Append one record at the given timestamp."""
@@ -136,17 +200,17 @@ class DelayTrace:
     @property
     def times(self) -> np.ndarray:
         """Record timestamps (seconds) in event order."""
-        return np.asarray(self._times, dtype=np.float64)
+        return _col_f64(self._times)
 
     @property
     def delays(self) -> np.ndarray:
         """Per-packet one-way delays (seconds)."""
-        return np.asarray(self._delays, dtype=np.float64)
+        return _col_f64(self._delays)
 
     @property
     def flow_ids(self) -> np.ndarray:
         """Per-record flow ids as an int64 array."""
-        return np.asarray(self._flow_ids, dtype=np.int64)
+        return _col_i64(self._flow_ids)
 
     def queueing_delays(self) -> np.ndarray:
         """Delays minus the observed floor (per-trace propagation bound)."""

@@ -188,7 +188,7 @@ class TcpSender:
 
     def _emit(self, seq: int, retransmission: bool) -> None:
         now = self.sim.now
-        pkt = Packet(
+        pkt = self.sim.alloc_packet(
             self.flow_id,
             seq,
             self.packet_size,
@@ -228,10 +228,14 @@ class TcpSender:
     def receive(self, pkt: Packet) -> None:
         """Agent entry point: process an incoming ACK."""
         if pkt.kind != ACK or self.finished:
+            self.sim.free_packet(pkt)
             return
         if pkt.ecn_echo:
             self._handle_ecn_echo()
         ack = pkt.seq
+        # Last read of the ACK's fields is above: recycle before the window
+        # handlers run (they may allocate retransmissions from the pool).
+        self.sim.free_packet(pkt)
         if ack > self.highest_acked:
             self._handle_new_ack(ack)
         elif ack == self.highest_acked:

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.node import Host
-from repro.sim.packet import PROBE, Packet
+from repro.sim.packet import PROBE
 
 __all__ = ["CbrSource"]
 
@@ -87,7 +87,7 @@ class CbrSource:
         if self._stop_at is not None and now >= self._stop_at:
             self._timer = None
             return
-        pkt = Packet(
+        pkt = self.sim.alloc_packet(
             self.flow_id,
             self.next_seq,
             self.packet_size,

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.node import Host
-from repro.sim.packet import NOISE, Packet
+from repro.sim.packet import NOISE
 
 __all__ = ["OnOffSource", "noise_fleet_params"]
 
@@ -94,7 +94,7 @@ class OnOffSource:
             off = float(self.rng.exponential(self.mean_off))
             self._timer = self.sim.schedule(off, self._begin_on)
             return
-        pkt = Packet(
+        pkt = self.sim.alloc_packet(
             self.flow_id,
             self.next_seq,
             self.packet_size,

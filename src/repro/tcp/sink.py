@@ -78,6 +78,7 @@ class TcpSink:
     def receive(self, pkt: Packet) -> None:
         """Agent/node entry point: process an incoming packet."""
         if pkt.kind != DATA:
+            self.sim.free_packet(pkt)
             return
         now = self.sim.now
         self.packets_arrived += 1
@@ -113,9 +114,15 @@ class TcpSink:
                 self._delack_timer = self.sim.schedule(
                     self.delack_timeout, self._delack_fired
                 )
+            # The sink is the data packet's terminal consumer unless an
+            # on_data observer may retain it.
+            if self.on_data is None:
+                self.sim.free_packet(pkt)
             return
         # Immediate ACK: duplicate-triggering or ECN-echoing packets.
         self._send_ack(ecn_echo=pkt.ecn_marked)
+        if self.on_data is None:
+            self.sim.free_packet(pkt)
 
     def _delack_fired(self) -> None:
         self._delack_timer = None
@@ -145,7 +152,7 @@ class TcpSink:
             self._delack_timer.cancel()
             self._delack_timer = None
         self._unacked_count = 0
-        ack = Packet(
+        ack = self.sim.alloc_packet(
             self.flow_id,
             self.next_expected,
             40,
@@ -173,6 +180,7 @@ class UdpSink:
         """Agent/node entry point: process an incoming packet."""
         self.packets_received += 1
         self.bytes_received += pkt.size
+        self.sim.free_packet(pkt)
 
 
 class ProbeSink:
@@ -194,6 +202,7 @@ class ProbeSink:
         """Agent/node entry point: process an incoming packet."""
         self.seqs.append(pkt.seq)
         self.times.append(self.sim.now)
+        self.sim.free_packet(pkt)
 
     def received_set(self) -> set[int]:
         """Set of sequence numbers seen by this sink."""

@@ -138,6 +138,7 @@ class TfrcReceiver:
     def receive(self, pkt: Packet) -> None:
         """Agent/node entry point: process an incoming packet."""
         if pkt.kind != DATA:
+            self.sim.free_packet(pkt)
             return
         now = self.sim.now
         if isinstance(pkt.meta, (int, float)) and pkt.meta > 0:
@@ -155,6 +156,7 @@ class TfrcReceiver:
         if seq >= self.next_expected:
             self.next_expected = seq + 1
         self._last_arrival = (seq, now)
+        self.sim.free_packet(pkt)
 
         if self._fb_timer is None:
             self._schedule_feedback()
@@ -197,7 +199,7 @@ class TfrcReceiver:
         x_recv = self._fb_bytes / max(elapsed, 1e-9)
         self._fb_bytes = 0
         self._fb_last_time = now
-        fb = Packet(
+        fb = self.sim.alloc_packet(
             self.flow_id,
             self.next_expected,
             40,
@@ -284,7 +286,7 @@ class TfrcSender:
             self.finished = True
             self.stats.finish_time = self.sim.now
             return
-        pkt = Packet(
+        pkt = self.sim.alloc_packet(
             self.flow_id,
             self.next_seq,
             self.packet_size,
@@ -305,8 +307,10 @@ class TfrcSender:
     def receive(self, pkt: Packet) -> None:
         """Agent/node entry point: process an incoming packet."""
         if pkt.kind != ACK or pkt.meta is None or self.finished:
+            self.sim.free_packet(pkt)
             return
         p, x_recv, echo_ts = pkt.meta
+        self.sim.free_packet(pkt)
         now = self.sim.now
         if echo_ts > 0:
             rtt = now - echo_ts

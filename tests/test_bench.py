@@ -1,0 +1,100 @@
+"""Benchmark harness: schema, trajectory file naming, paired results."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchConfig,
+    next_bench_path,
+    run_bench,
+    validate_bench,
+)
+
+#: Tiny pinned config so the full harness runs in test time.
+TINY = BenchConfig(
+    name="tiny",
+    loop_events=2_000,
+    churn_events=1_000,
+    pool_packets=2_000,
+    trace_records=2_000,
+    analysis_drops=2_000,
+    repeats=1,
+    fig2_flows=2,
+    fig2_noise=2,
+    fig2_duration=0.5,
+    overhead_check=False,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    return run_bench(TINY, quiet=True)
+
+
+def test_run_bench_produces_valid_schema(bench_doc):
+    validate_bench(bench_doc)  # must not raise
+    assert bench_doc["schema"] == SCHEMA
+    assert bench_doc["mode"] == "tiny"
+    assert bench_doc["peak_rss_kb"] > 0
+
+
+def test_paired_entries_carry_baseline_and_optimized(bench_doc):
+    for name in ("event_loop", "cancel_churn", "packet_pool", "fig2_scaled"):
+        entry = bench_doc["benchmarks"][name]
+        assert entry["baseline"] > 0
+        assert entry["optimized"] > 0
+        assert entry["speedup"] == pytest.approx(
+            entry["baseline_wall_s"] / entry["optimized_wall_s"], rel=1e-2
+        )
+
+
+def test_fig2_scaled_engines_agree(bench_doc):
+    entry = bench_doc["benchmarks"]["fig2_scaled"]
+    assert entry["identical_drops"] is True
+    assert entry["events"] > 0
+
+
+def test_document_is_json_serializable(bench_doc):
+    doc = json.loads(json.dumps(bench_doc))
+    validate_bench(doc)
+
+
+def test_validate_bench_rejects_bad_documents(bench_doc):
+    with pytest.raises(ValueError, match="schema"):
+        validate_bench({"schema": "other/1"})
+    missing = json.loads(json.dumps(bench_doc))
+    del missing["benchmarks"]["event_loop"]
+    with pytest.raises(ValueError, match="event_loop"):
+        validate_bench(missing)
+    diverged = json.loads(json.dumps(bench_doc))
+    diverged["benchmarks"]["fig2_scaled"]["identical_drops"] = False
+    with pytest.raises(ValueError, match="identical_drops"):
+        validate_bench(diverged)
+    slow = json.loads(json.dumps(bench_doc))
+    slow["benchmarks"]["telemetry_overhead"] = {"overhead": 1.2}
+    with pytest.raises(ValueError, match="overhead"):
+        validate_bench(slow)
+
+
+def test_next_bench_path_skips_taken_indices(tmp_path):
+    assert next_bench_path(tmp_path).name == "BENCH_0.json"
+    (tmp_path / "BENCH_0.json").write_text("{}")
+    (tmp_path / "BENCH_2.json").write_text("{}")
+    assert next_bench_path(tmp_path).name == "BENCH_1.json"
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    assert next_bench_path(tmp_path).name == "BENCH_3.json"
+
+
+def test_cli_bench_smoke_writes_trajectory_file(tmp_path, monkeypatch):
+    """``python -m repro bench DIR --smoke`` end-to-end (tiny sizes)."""
+    import repro.bench as bench_mod
+    from repro.cli import main
+
+    monkeypatch.setattr(bench_mod, "SMOKE", TINY)
+    rc = main(["bench", str(tmp_path), "--smoke"])
+    assert rc == 0
+    out = tmp_path / "BENCH_0.json"
+    assert out.exists()
+    validate_bench(json.loads(out.read_text()))
