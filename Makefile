@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test check-invariants faults report bench bench-smoke bench-micro bench-paper figures examples clean
+.PHONY: install test check-invariants faults report zoo-smoke bench bench-smoke bench-micro bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: check-invariants faults report bench-smoke
+test: check-invariants faults report zoo-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
+
+# Protocol/AQM zoo lane: every registered sender and queue kind must run
+# a grid cell (the registry-completeness tests fail on unregistered-but-
+# untested variants), plus the full sender x queue conservation matrix.
+zoo-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/experiments/test_zoo.py tests/integration/test_zoo_matrix.py tests/tcp/test_registry.py tests/sim/test_codel.py
 
 # Conservation smoke: run the two simulator-heavy figures with the
 # invariant checker armed; any accounting violation aborts the run.

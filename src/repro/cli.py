@@ -112,6 +112,12 @@ def _shortflows(seed, scale):
     return run_shortflows(seed=seed, scale=scale).to_text()
 
 
+def _zoo(seed, scale):
+    from repro.experiments import run_zoo
+
+    return run_zoo(seed=seed, scale=scale).to_text()
+
+
 def _red(seed, scale):
     from repro.extensions import run_red_sweep, sweep_table
 
@@ -139,6 +145,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "eq12": (_eq12, "Equations (1)/(2) — loss-event detection by class"),
     "fig7": (_fig7, "Figure 7 — TCP Pacing vs NewReno competition"),
     "fig8": (_fig8, "Figure 8 — parallel-transfer latency grid"),
+    "zoo": (_zoo, "Extension — protocol/AQM zoo grid (Fig. 7 + Eqs. 1-2)"),
     "methodology": (_methodology, "Extension — measurement methodology comparison"),
     "shortflows": (_shortflows, "Extension — slow-start churn burstiness (§3.3)"),
     "red": (_red, "Extension — RED tuning sweep"),

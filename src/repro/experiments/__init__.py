@@ -18,6 +18,12 @@ from repro.experiments.methodology import MethodologyResult, run_methodology
 from repro.experiments.parallel import default_workers, parallel_map
 from repro.experiments.shortflows import ShortFlowResult, run_shortflows
 from repro.experiments.table1_sites import Table1Result, run_table1
+from repro.experiments.zoo_grid import (
+    ZooCellResult,
+    ZooGridResult,
+    run_zoo,
+    run_zoo_cell,
+)
 
 __all__ = [
     "FAST",
@@ -33,6 +39,8 @@ __all__ = [
     "Scale",
     "ShortFlowResult",
     "Table1Result",
+    "ZooCellResult",
+    "ZooGridResult",
     "analytic_table",
     "current_scale",
     "default_workers",
@@ -48,4 +56,6 @@ __all__ = [
     "run_methodology",
     "run_shortflows",
     "run_table1",
+    "run_zoo",
+    "run_zoo_cell",
 ]

@@ -28,8 +28,7 @@ from repro.experiments.common import Scale, current_scale
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
-from repro.tcp.newreno import NewRenoSender
-from repro.tcp.pacing import PacedSender
+from repro.tcp.registry import create_sender
 from repro.tcp.sink import TcpSink
 
 __all__ = ["Eq12Result", "run_eq12", "analytic_table"]
@@ -107,13 +106,13 @@ def run_eq12(
     for i in range(n):
         pair = db.add_pair(rtt=rtt, name=f"win{i}")
         fid = _WINDOW_BASE + i
-        snd = NewRenoSender(sim, pair.left, fid, pair.right.node_id)
+        snd = create_sender("newreno", sim, pair.left, fid, pair.right.node_id)
         TcpSink(sim, pair.right, fid, pair.left.node_id)
         snd.start(float(start_rng.uniform(0.0, 0.1)))
     for i in range(n):
         pair = db.add_pair(rtt=rtt, name=f"rate{i}")
         fid = _RATE_BASE + i
-        snd = PacedSender(sim, pair.left, fid, pair.right.node_id, base_rtt=rtt)
+        snd = create_sender("paced", sim, pair.left, fid, pair.right.node_id, rtt=rtt)
         TcpSink(sim, pair.right, fid, pair.left.node_id)
         snd.start(float(start_rng.uniform(0.0, 0.1)))
     sim.run(until=sc.fig7_duration)

@@ -21,8 +21,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
 from repro.sim.topology import DumbbellConfig, build_dumbbell
 from repro.sim.trace import ThroughputTrace
-from repro.tcp.newreno import NewRenoSender
-from repro.tcp.pacing import PacedSender
+from repro.tcp.registry import create_sender
 from repro.tcp.sink import TcpSink
 
 __all__ = ["Fig7Result", "run_fig7"]
@@ -100,10 +99,12 @@ def run_fig7(
         start_rng = streams.stream("starts")
         n = sc.fig7_flows_per_class
         flows = []
+        # Senders resolve through the protocol registry; "newreno" and
+        # "paced" are the paper's two Fig. 7 classes.
         for i in range(n):
             pair = db.add_pair(rtt=rtt, name=f"nr{i}")
             fid = 100 + i
-            snd = NewRenoSender(sim, pair.left, fid, pair.right.node_id)
+            snd = create_sender("newreno", sim, pair.left, fid, pair.right.node_id)
             sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
             tp.assign(fid, GROUP_NEWRENO)
             flows.append((snd, sink))
@@ -111,7 +112,9 @@ def run_fig7(
         for i in range(n):
             pair = db.add_pair(rtt=rtt, name=f"pc{i}")
             fid = 200 + i
-            snd = PacedSender(sim, pair.left, fid, pair.right.node_id, base_rtt=rtt)
+            snd = create_sender(
+                "paced", sim, pair.left, fid, pair.right.node_id, rtt=rtt
+            )
             sink = TcpSink(sim, pair.right, fid, pair.left.node_id, throughput=tp)
             tp.assign(fid, GROUP_PACING)
             flows.append((snd, sink))

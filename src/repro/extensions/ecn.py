@@ -16,7 +16,7 @@ the standard once-per-window ECN reaction already built into
 from __future__ import annotations
 
 from repro.sim.packet import Packet
-from repro.sim.queues import DropTailQueue, EnqueueResult
+from repro.sim.queues import DropTailQueue, EnqueueResult, register_queue
 
 __all__ = ["PersistentEcnQueue"]
 
@@ -62,7 +62,9 @@ class PersistentEcnQueue(DropTailQueue):
     def push(self, pkt: Packet, now: float) -> EnqueueResult:
         """Offer a packet to the buffer; returns the enqueue outcome."""
         self.arrived += 1
-        full = len(self._q) >= self.capacity
+        # _fits honours the byte limit too; a byte-capacity overflow is a
+        # congestion-onset signal just like a slot overflow.
+        full = not self._fits(pkt)
         # Occupancy including this arrival: the signal fires when the queue
         # would reach the threshold.
         congested = full or (len(self._q) + 1) >= self.onset_threshold * self.capacity
@@ -81,3 +83,16 @@ class PersistentEcnQueue(DropTailQueue):
             return EnqueueResult.MARKED
         self._accept(pkt)
         return EnqueueResult.ENQUEUED
+
+
+@register_queue("pecn")
+def _make_pecn(capacity_pkts, *, rng=None, name="pecn", service_rate_pps=0.0,
+               signal_duration: float = 0.1, onset_threshold: float = 0.5,
+               **kwargs) -> PersistentEcnQueue:
+    return PersistentEcnQueue(
+        capacity_pkts,
+        signal_duration=signal_duration,
+        onset_threshold=onset_threshold,
+        name=name,
+        **kwargs,
+    )

@@ -7,10 +7,13 @@ identities those counters must satisfy:
 
 queue
     ``arrived == enqueued + dropped`` and
-    ``enqueued == dequeued + occupancy``.
+    ``enqueued == dequeued + dropped_head + occupancy`` (dequeue-time
+    drops — CoDel sojourn drops, FQ-CoDel evictions — are counted in
+    ``dropped_head``; push-time refusals in ``dropped``).
 link
-    ``offered == forwarded + transmitting + queued + dropped`` (the
-    transmitter holds at most one packet).
+    ``offered == forwarded + transmitting + queued + dropped_total`` (the
+    transmitter holds at most one packet; ``dropped_total`` folds both
+    drop sites together).
 flow
     ``0 <= in-flight``, ``delivered <= unique sends``, and the byte/packet
     conservation ``arrived-at-sink + dropped <= sent`` (with equality once
@@ -86,6 +89,7 @@ def _queue_snapshot(q: "Queue") -> dict:
         "enqueued": q.enqueued,
         "dequeued": q.dequeued,
         "dropped": q.dropped,
+        "dropped_head": q.dropped_head,
         "marked": q.marked,
         "occupancy": len(q),
         "bytes": q.bytes,
@@ -104,11 +108,12 @@ def check_queue(q: "Queue", now: float = 0.0) -> dict:
             snap,
             now,
         )
-    if q.enqueued != q.dequeued + len(q):
+    if q.enqueued != q.dequeued + q.dropped_head + len(q):
         raise InvariantViolation(
             "queue.occupancy",
             q.name,
-            f"enqueued ({q.enqueued}) != dequeued ({q.dequeued}) + occupancy ({len(q)})",
+            f"enqueued ({q.enqueued}) != dequeued ({q.dequeued}) + "
+            f"dropped_head ({q.dropped_head}) + occupancy ({len(q)})",
             snap,
             now,
         )
@@ -132,7 +137,7 @@ def _link_snapshot(link: "Link") -> dict:
         "busy": link.busy,
         "busy_time": link.busy_time,
         "queued": len(link.queue),
-        "queue_dropped": link.queue.dropped,
+        "queue_dropped": link.queue.dropped_total,
         "dropped_down": link.packets_dropped_down,
         "is_up": link.is_up,
     }
@@ -151,7 +156,7 @@ def check_link(link: "Link", now: float = 0.0) -> dict:
     transmitting = 1 if link.busy else 0
     accounted = (
         link.packets_forwarded + transmitting + len(link.queue)
-        + link.queue.dropped + link.packets_dropped_down
+        + link.queue.dropped_total + link.packets_dropped_down
     )
     if link.packets_offered != accounted:
         raise InvariantViolation(
@@ -159,7 +164,7 @@ def check_link(link: "Link", now: float = 0.0) -> dict:
             link.name,
             f"offered ({link.packets_offered}) != forwarded ({link.packets_forwarded}) "
             f"+ transmitting ({transmitting}) + queued ({len(link.queue)}) "
-            f"+ dropped ({link.queue.dropped}) "
+            f"+ dropped ({link.queue.dropped_total}) "
             f"+ dropped_down ({link.packets_dropped_down})",
             snap,
             now,

@@ -279,6 +279,10 @@ class FlightRecorder:
         self.probe(f"{prefix}.cwnd", lambda: sender.cwnd)
         self.probe(f"{prefix}.srtt", lambda: sender.srtt or 0.0)
         self.probe(f"{prefix}.rate_mbps", lambda: sender.pacing_rate_bps() / 1e6)
+        # Model-based senders expose extra state worth a series: BBR's
+        # bottleneck-bandwidth estimate drives its whole pacing regime.
+        if hasattr(sender, "btlbw_bps"):
+            self.probe(f"{prefix}.btlbw_mbps", lambda: sender.btlbw_bps() / 1e6)
 
     def watch_queue(self, queue: "Queue") -> None:
         """Sample a queue's depth and cumulative drops every tick
@@ -287,7 +291,8 @@ class FlightRecorder:
         if f"{prefix}.depth" in self.series:
             return
         self.probe(f"{prefix}.depth", lambda: len(queue))
-        self.probe(f"{prefix}.dropped", lambda: queue.dropped)
+        # dropped_total folds in dequeue-time (CoDel/FQ-CoDel) drops.
+        self.probe(f"{prefix}.dropped", lambda: queue.dropped_total)
 
     def watch_link(self, link: "Link") -> None:
         """Sample a link's busy-time accumulation and up/down state

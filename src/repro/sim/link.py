@@ -71,6 +71,7 @@ class Link:
         self.queue = queue if queue is not None else DropTailQueue(10**9, name=self.name)
         self.drop_trace = drop_trace
         self.arrival_trace = arrival_trace
+        self._install_queue_hooks()
         self.busy = False
         #: Fault-injection state: a downed link drops every offered packet.
         self.is_up = True
@@ -86,6 +87,27 @@ class Link:
         self.utilization_overruns = 0
         self.flap_count = 0
         self.registry: Optional["MetricsRegistry"] = None
+
+    # ------------------------------------------------------------------
+    def attach_queue(self, queue: Queue) -> None:
+        """Swap in a queue discipline and take ownership of its head-drop
+        and mark hooks (the link is the terminal consumer for dequeue-time
+        drops: it records the trace entry and recycles the packet)."""
+        self.queue = queue
+        self._install_queue_hooks()
+
+    def _install_queue_hooks(self) -> None:
+        self.queue.head_drop_hook = self._on_head_drop
+        self.queue.mark_hook = self._on_dequeue_mark
+
+    def _on_head_drop(self, pkt: Packet, now: float) -> None:
+        if self.drop_trace is not None:
+            self.drop_trace.record(pkt, now, marked=False)
+        self.sim.free_packet(pkt)
+
+    def _on_dequeue_mark(self, pkt: Packet, now: float) -> None:
+        if self.drop_trace is not None:
+            self.drop_trace.record(pkt, now, marked=True)
 
     # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> EnqueueResult:

@@ -1,24 +1,38 @@
-"""Queue disciplines: DropTail (FIFO) and RED, with optional ECN marking.
+"""Queue disciplines: DropTail, RED, CoDel, and FQ-CoDel.
 
 The paper identifies the DropTail bottleneck as the primary source of
 sub-RTT loss burstiness (§3.3): once the FIFO buffer fills, *every* arrival
 is dropped until the senders back off roughly half an RTT later, producing
 a dense cluster of drops.  RED spreads drops out by dropping probabilistically
 as a function of the EWMA queue length; the repository's ablation benches
-quantify how much burstiness RED removes (§5).
+quantify how much burstiness RED removes (§5).  CoDel and FQ-CoDel are the
+2012-era sequels (the "modern AQM zoo" the zoo-grid experiment sweeps):
+they drop on *sojourn time* at dequeue, which changes both the burstiness
+of the loss process and which flow classes sample it.
 
 All disciplines share one interface so links and traces are agnostic:
 
 ``push(pkt, now)`` returns an :class:`EnqueueResult` — ``ENQUEUED``,
 ``DROPPED``, or ``MARKED`` (enqueued with the ECN congestion-experienced
-codepoint set).
+codepoint set).  Disciplines that drop or mark at *dequeue* time (CoDel,
+FQ-CoDel) report those outcomes through the ``head_drop_hook`` /
+``mark_hook`` callbacks the owning :class:`~repro.sim.link.Link` installs,
+and count them in ``dropped_head`` so the conservation identities stay
+checkable: ``arrived == enqueued + dropped`` and
+``enqueued == dequeued + dropped_head + occupancy``.
+
+Disciplines are also exposed through a named factory
+(:func:`make_queue` / :func:`register_queue` / :func:`queue_kinds`) so
+experiment drivers resolve AQMs by string key — the queue half of the
+protocol/AQM zoo registry.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from collections import deque
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -27,7 +41,19 @@ from repro.sim.packet import Packet
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["EnqueueResult", "Queue", "DropTailQueue", "REDQueue", "REDParams"]
+__all__ = [
+    "EnqueueResult",
+    "Queue",
+    "DropTailQueue",
+    "REDQueue",
+    "REDParams",
+    "CoDelParams",
+    "CoDelQueue",
+    "FqCoDelQueue",
+    "make_queue",
+    "register_queue",
+    "queue_kinds",
+]
 
 
 class EnqueueResult(enum.Enum):
@@ -70,7 +96,19 @@ class Queue:
         self.enqueued = 0
         self.dequeued = 0
         self.dropped = 0
+        #: Packets dropped at *dequeue* time after having been enqueued
+        #: (CoDel's sojourn drops, FQ-CoDel's fat-flow evictions).  Kept
+        #: separate from ``dropped`` so ``arrived == enqueued + dropped``
+        #: stays an arrival-side identity for every discipline.
+        self.dropped_head = 0
         self.marked = 0
+        #: Terminal consumer for head-dropped packets: the owning Link
+        #: installs a callback that records the drop trace entry and
+        #: recycles the packet.  ``None`` means the queue discards silently.
+        self.head_drop_hook: Optional[Callable[[Packet, float], None]] = None
+        #: Observer for dequeue-time ECN marks (CoDel with ``ecn=True``):
+        #: the packet is still delivered, but the mark needs a trace entry.
+        self.mark_hook: Optional[Callable[[Packet, float], None]] = None
         #: High-water mark of the instantaneous occupancy (packets); the
         #: telemetry/report layer uses it to tell "buffer never filled"
         #: from "buffer sat full" without sampling every enqueue.
@@ -103,6 +141,11 @@ class Queue:
     def __bool__(self) -> bool:
         return bool(self._q)
 
+    @property
+    def dropped_total(self) -> int:
+        """All losses this queue inflicted: push-time plus dequeue-time."""
+        return self.dropped + self.dropped_head
+
     # -- shared helpers ---------------------------------------------------
     def _accept(self, pkt: Packet) -> None:
         self._q.append(pkt)
@@ -121,7 +164,7 @@ class Queue:
         """
         return {
             "arrival": self.arrived - self.enqueued - self.dropped,
-            "occupancy": self.enqueued - self.dequeued - len(self._q),
+            "occupancy": self.enqueued - self.dequeued - self.dropped_head - len(self),
         }
 
     def attach_metrics(self, registry: "MetricsRegistry") -> None:
@@ -132,8 +175,9 @@ class Queue:
         registry.gauge(f"{prefix}.enqueued", fn=lambda: self.enqueued)
         registry.gauge(f"{prefix}.dequeued", fn=lambda: self.dequeued)
         registry.gauge(f"{prefix}.dropped", fn=lambda: self.dropped)
+        registry.gauge(f"{prefix}.dropped_head", fn=lambda: self.dropped_head)
         registry.gauge(f"{prefix}.marked", fn=lambda: self.marked)
-        registry.gauge(f"{prefix}.occupancy", fn=lambda: len(self._q))
+        registry.gauge(f"{prefix}.occupancy", fn=lambda: len(self))
         registry.gauge(f"{prefix}.peak_occupancy", fn=lambda: self.peak_occupancy)
         registry.gauge(f"{prefix}.bytes", fn=lambda: self.bytes)
 
@@ -293,3 +337,440 @@ class REDQueue(Queue):
         if pkt is not None and not self._q:
             self._idle_since = now
         return pkt
+
+
+# ---------------------------------------------------------------------------
+# CoDel (Nichols & Jacobson 2012) and FQ-CoDel (RFC 8290)
+# ---------------------------------------------------------------------------
+
+
+class CoDelParams:
+    """Controlled-Delay AQM parameters.
+
+    ``target`` is the acceptable standing sojourn time (5 ms), ``interval``
+    the window over which it must be exceeded before dropping starts
+    (100 ms, a worst-case RTT).  With ``ecn`` set, sojourn violations mark
+    ECN-capable packets instead of dropping them.
+    """
+
+    __slots__ = ("target", "interval", "ecn")
+
+    def __init__(self, target: float = 0.005, interval: float = 0.100,
+                 ecn: bool = False):
+        if target <= 0:
+            raise ValueError(f"target must be positive, got {target}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.target = float(target)
+        self.interval = float(interval)
+        self.ecn = bool(ecn)
+
+
+class _CoDelLaw:
+    """The CoDel control-law state machine, shared by :class:`CoDelQueue`
+    and each FQ-CoDel bucket.
+
+    ``dequeue(now, pull, backlog, consume)`` implements the ACM Queue
+    pseudocode: ``pull()`` removes and returns ``(pkt, enqueue_time)`` or
+    ``None``; ``backlog()`` is the owner's byte backlog (no dropping below
+    one max-size packet); ``consume(pkt, now)`` disposes of a
+    sojourn-dropped packet (accounting + hooks live with the owner).
+    Returns the packet to deliver (possibly ECN-marked) or ``None``.
+    """
+
+    __slots__ = ("first_above", "dropping", "drop_next", "count",
+                 "last_sojourn", "maxpacket", "params", "_mark")
+
+    def __init__(self, params: CoDelParams,
+                 mark: Callable[[Packet, float], bool]):
+        self.params = params
+        self.first_above = 0.0
+        self.dropping = False
+        self.drop_next = 0.0
+        self.count = 0
+        self.last_sojourn = 0.0
+        self.maxpacket = 0
+        self._mark = mark
+
+    def _dodequeue(self, now, pull, backlog):
+        """Returns ``(pkt, ok_to_drop)``; updates the first-above clock."""
+        item = pull()
+        if item is None:
+            self.first_above = 0.0
+            return None, False
+        pkt, enq = item
+        sojourn = now - enq
+        self.last_sojourn = sojourn
+        p = self.params
+        if sojourn < p.target or backlog() < self.maxpacket:
+            self.first_above = 0.0
+            return pkt, False
+        if self.first_above == 0.0:
+            self.first_above = now + p.interval
+            return pkt, False
+        return pkt, now >= self.first_above
+
+    def dequeue(self, now, pull, backlog, consume):
+        interval = self.params.interval
+        pkt, ok = self._dodequeue(now, pull, backlog)
+        if pkt is None:
+            self.dropping = False
+            return None
+        if self.dropping:
+            if not ok:
+                self.dropping = False
+            else:
+                while self.dropping and now >= self.drop_next:
+                    self.count += 1
+                    if self._mark(pkt, now):
+                        # ECN: deliver the marked packet; the control law
+                        # advances exactly as if it had been dropped.
+                        self.drop_next += interval / math.sqrt(self.count)
+                        break
+                    consume(pkt, now)
+                    pkt, ok = self._dodequeue(now, pull, backlog)
+                    if pkt is None:
+                        self.dropping = False
+                        break
+                    if not ok:
+                        self.dropping = False
+                    else:
+                        self.drop_next += interval / math.sqrt(self.count)
+        elif ok:
+            # Enter the dropping state: one immediate drop (or mark), then
+            # the count-controlled schedule, resumed near the prior rate if
+            # we left the state recently.
+            if not self._mark(pkt, now):
+                consume(pkt, now)
+                pkt, _ = self._dodequeue(now, pull, backlog)
+            self.dropping = True
+            if self.count > 2 and now - self.drop_next < 16.0 * interval:
+                self.count -= 2
+            else:
+                self.count = 1
+            self.drop_next = now + interval / math.sqrt(self.count)
+        return pkt
+
+
+class CoDelQueue(Queue):
+    """Controlled-Delay queue: drop (or ECN-mark) on standing sojourn time.
+
+    Arrivals are only dropped on hard overflow (``capacity_pkts`` /
+    ``capacity_bytes``), like DropTail; congestion control happens at
+    *dequeue*, where packets whose sojourn exceeded ``target`` for at
+    least one ``interval`` are dropped on the ``1/sqrt(count)`` schedule.
+    Dequeue drops are counted in ``dropped_head`` and reported through
+    ``head_drop_hook`` (the Link installs the trace/recycle consumer).
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        params: Optional[CoDelParams] = None,
+        name: str = "codel",
+        capacity_bytes: Optional[int] = None,
+    ):
+        super().__init__(capacity_pkts, name=name, capacity_bytes=capacity_bytes)
+        self.params = params or CoDelParams()
+        self._enq_times: deque[float] = deque()
+        self._law = _CoDelLaw(self.params, self._try_mark)
+        # Sojourn statistics over *delivered* packets (tests + telemetry).
+        self.sojourn_sum = 0.0
+        self.sojourn_peak = 0.0
+
+    @property
+    def last_sojourn(self) -> float:
+        """Sojourn time of the most recently examined head packet."""
+        return self._law.last_sojourn
+
+    # -- interface ------------------------------------------------------
+    def push(self, pkt: Packet, now: float) -> EnqueueResult:
+        """Offer a packet to the buffer; returns the enqueue outcome."""
+        self.arrived += 1
+        if not self._fits(pkt):
+            self.dropped += 1
+            return EnqueueResult.DROPPED
+        if pkt.size > self._law.maxpacket:
+            self._law.maxpacket = pkt.size
+        self._accept(pkt)
+        self._enq_times.append(now)
+        return EnqueueResult.ENQUEUED
+
+    def _pull(self):
+        if not self._q:
+            return None
+        pkt = self._q.popleft()
+        self.bytes -= pkt.size
+        return pkt, self._enq_times.popleft()
+
+    def _consume(self, pkt: Packet, now: float) -> None:
+        self.dropped_head += 1
+        if self.head_drop_hook is not None:
+            self.head_drop_hook(pkt, now)
+
+    def _try_mark(self, pkt: Packet, now: float) -> bool:
+        if self.params.ecn and pkt.ecn_capable:
+            pkt.ecn_marked = True
+            self.marked += 1
+            if self.mark_hook is not None:
+                self.mark_hook(pkt, now)
+            return True
+        return False
+
+    def pop(self, now: float) -> Optional[Packet]:
+        """Remove and return the head-of-line packet (None when empty),
+        applying the CoDel control law first."""
+        pkt = self._law.dequeue(now, self._pull, lambda: self.bytes,
+                                self._consume)
+        if pkt is not None:
+            self.dequeued += 1
+            s = self._law.last_sojourn
+            self.sojourn_sum += s
+            if s > self.sojourn_peak:
+                self.sojourn_peak = s
+        return pkt
+
+    def mean_sojourn(self) -> float:
+        """Mean sojourn time over delivered packets (NaN before any)."""
+        if self.dequeued == 0:
+            return float("nan")
+        return self.sojourn_sum / self.dequeued
+
+
+class _FqBucket:
+    """One FQ-CoDel flow bucket: its backlog, DRR deficit, CoDel state."""
+
+    __slots__ = ("q", "byte_backlog", "deficit", "law", "active")
+
+    def __init__(self, params: CoDelParams, mark):
+        self.q: deque[tuple[Packet, float]] = deque()
+        self.byte_backlog = 0
+        self.deficit = 0
+        self.law = _CoDelLaw(params, mark)
+        self.active = False
+
+    def pull(self):
+        if not self.q:
+            return None
+        pkt, enq = self.q.popleft()
+        self.byte_backlog -= pkt.size
+        return pkt, enq
+
+
+class FqCoDelQueue(Queue):
+    """Flow-queueing CoDel (RFC 8290).
+
+    Packets hash by ``flow_id`` into ``n_buckets`` sub-queues, each
+    running its own CoDel law; a deficit-round-robin scheduler with
+    ``quantum`` bytes per visit serves them, giving new (thin) flows
+    scheduling priority.  On overflow the *fattest* bucket's head is
+    evicted — so an aggressive flow's backlog, not the arriving packet,
+    pays for the shared buffer.  Evictions and sojourn drops both count
+    in ``dropped_head`` (they removed packets that were enqueued).
+    """
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        params: Optional[CoDelParams] = None,
+        n_buckets: int = 64,
+        quantum: int = 1514,
+        name: str = "fq-codel",
+    ):
+        super().__init__(capacity_pkts, name=name)
+        if n_buckets < 1:
+            raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1 byte, got {quantum}")
+        self.params = params or CoDelParams()
+        self.n_buckets = int(n_buckets)
+        self.quantum = int(quantum)
+        self._buckets = [_FqBucket(self.params, self._try_mark)
+                         for _ in range(self.n_buckets)]
+        self._new: deque[_FqBucket] = deque()
+        self._old: deque[_FqBucket] = deque()
+        self._occupancy = 0
+
+    def __len__(self) -> int:
+        return self._occupancy
+
+    def __bool__(self) -> bool:
+        return self._occupancy > 0
+
+    # -- interface ------------------------------------------------------
+    def push(self, pkt: Packet, now: float) -> EnqueueResult:
+        """Offer a packet to the buffer; returns the enqueue outcome.
+
+        Always enqueues; when over capacity the longest bucket is then
+        shortened from the head (``dropped_head``), which usually punishes
+        a different flow than the one that arrived.
+        """
+        self.arrived += 1
+        b = self._buckets[pkt.flow_id % self.n_buckets]
+        if pkt.size > b.law.maxpacket:
+            b.law.maxpacket = pkt.size
+        b.q.append((pkt, now))
+        b.byte_backlog += pkt.size
+        self.bytes += pkt.size
+        self._occupancy += 1
+        self.enqueued += 1
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
+        if not b.active:
+            b.active = True
+            b.deficit = self.quantum
+            self._new.append(b)
+        if self._occupancy > self.capacity:
+            self._evict_from_fattest(now)
+        return EnqueueResult.ENQUEUED
+
+    def _evict_from_fattest(self, now: float) -> None:
+        fat = max(self._buckets, key=lambda b: b.byte_backlog)
+        item = fat.pull()
+        if item is None:  # pragma: no cover - occupancy > 0 implies a head
+            return
+        pkt, _ = item
+        self.bytes -= pkt.size
+        self._occupancy -= 1
+        self.dropped_head += 1
+        if self.head_drop_hook is not None:
+            self.head_drop_hook(pkt, now)
+
+    def _try_mark(self, pkt: Packet, now: float) -> bool:
+        if self.params.ecn and pkt.ecn_capable:
+            pkt.ecn_marked = True
+            self.marked += 1
+            if self.mark_hook is not None:
+                self.mark_hook(pkt, now)
+            return True
+        return False
+
+    def _bucket_consume(self, pkt: Packet, now: float) -> None:
+        self._occupancy -= 1
+        self.bytes -= pkt.size
+        self.dropped_head += 1
+        if self.head_drop_hook is not None:
+            self.head_drop_hook(pkt, now)
+
+    def pop(self, now: float) -> Optional[Packet]:
+        """DRR scheduling over the buckets, CoDel law per bucket."""
+        while True:
+            if self._new:
+                lst = self._new
+            elif self._old:
+                lst = self._old
+            else:
+                return None
+            b = lst[0]
+            if b.deficit <= 0:
+                b.deficit += self.quantum
+                lst.popleft()
+                self._old.append(b)
+                continue
+            pkt = b.law.dequeue(now, b.pull,
+                                lambda b=b: b.byte_backlog,
+                                self._bucket_consume)
+            if pkt is None:
+                # Bucket drained: a new bucket gets one pass through the
+                # old list (RFC 8290 §4.2); an old bucket deactivates.
+                lst.popleft()
+                if lst is self._new:
+                    self._old.append(b)
+                else:
+                    b.active = False
+                continue
+            b.deficit -= pkt.size
+            self._occupancy -= 1
+            self.bytes -= pkt.size
+            self.dequeued += 1
+            return pkt
+
+    def backlog_of(self, flow_id: int) -> int:
+        """Byte backlog of the bucket ``flow_id`` hashes into (tests)."""
+        return self._buckets[flow_id % self.n_buckets].byte_backlog
+
+
+# ---------------------------------------------------------------------------
+# Named queue factory — the AQM half of the protocol/AQM zoo registry
+# ---------------------------------------------------------------------------
+
+#: kind -> factory(capacity_pkts, *, rng, name, service_rate_pps, **kwargs).
+_QUEUE_REGISTRY: dict[str, Callable[..., Queue]] = {}
+
+
+def register_queue(kind: str):
+    """Decorator: register a queue factory under a string key.
+
+    The factory signature is ``factory(capacity_pkts, *, rng=None,
+    name="...", service_rate_pps=0.0, **kwargs) -> Queue``; factories
+    ignore the keywords they have no use for.  Registering an existing
+    kind replaces it (extensions may refine a core discipline).
+    """
+
+    def deco(factory: Callable[..., Queue]):
+        _QUEUE_REGISTRY[kind] = factory
+        return factory
+
+    return deco
+
+
+def queue_kinds() -> tuple[str, ...]:
+    """Registered AQM kind keys, sorted."""
+    return tuple(sorted(_QUEUE_REGISTRY))
+
+
+def make_queue(
+    kind: str,
+    capacity_pkts: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    name: Optional[str] = None,
+    service_rate_pps: float = 0.0,
+    **kwargs,
+) -> Queue:
+    """Build a queue discipline by registry key.
+
+    ``rng`` feeds probabilistic disciplines (RED); ``service_rate_pps``
+    feeds idle-decay corrections; both are ignored by disciplines that
+    have no use for them, so drivers can pass everything uniformly.
+    """
+    try:
+        factory = _QUEUE_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown queue kind {kind!r}; registered: {', '.join(queue_kinds())}"
+        ) from None
+    return factory(
+        capacity_pkts,
+        rng=rng,
+        name=name if name is not None else kind,
+        service_rate_pps=service_rate_pps,
+        **kwargs,
+    )
+
+
+@register_queue("droptail")
+def _make_droptail(capacity_pkts, *, rng=None, name="droptail",
+                   service_rate_pps=0.0, **kwargs) -> DropTailQueue:
+    return DropTailQueue(capacity_pkts, name=name, **kwargs)
+
+
+@register_queue("red")
+def _make_red(capacity_pkts, *, rng=None, name="red", service_rate_pps=0.0,
+              params: Optional[REDParams] = None, **kwargs) -> REDQueue:
+    return REDQueue(capacity_pkts, params=params, rng=rng, name=name,
+                    service_rate_pps=service_rate_pps, **kwargs)
+
+
+@register_queue("codel")
+def _make_codel(capacity_pkts, *, rng=None, name="codel",
+                service_rate_pps=0.0, params: Optional[CoDelParams] = None,
+                **kwargs) -> CoDelQueue:
+    return CoDelQueue(capacity_pkts, params=params, name=name, **kwargs)
+
+
+@register_queue("fq-codel")
+def _make_fq_codel(capacity_pkts, *, rng=None, name="fq-codel",
+                   service_rate_pps=0.0, params: Optional[CoDelParams] = None,
+                   **kwargs) -> FqCoDelQueue:
+    return FqCoDelQueue(capacity_pkts, params=params, name=name, **kwargs)

@@ -115,7 +115,7 @@ class Dumbbell:
     def set_forward_queue(self, queue: Queue) -> None:
         """Swap the bottleneck discipline (e.g. DropTail -> RED) pre-run."""
         self.forward_queue = queue
-        self.bottleneck_fwd.queue = queue
+        self.bottleneck_fwd.attach_queue(queue)
 
     def add_pair(self, rtt: float, name: Optional[str] = None) -> HostPair:
         """Attach a sender (left) / receiver (right) host pair with the given

@@ -3,9 +3,10 @@
 The paper's primary dataset is the router drop trace — a timestamp for every
 packet dropped at the bottleneck (§3.1: "We record traces from the simulated
 routers for each event in which a packet is dropped").  Traces are stored
-**columnar**: each field accumulates in a typed ``array.array`` column
-(cheap C-level appends, ~8 bytes per value instead of a per-record Python
-object) and converts to a NumPy array on demand, following the HPC guides'
+**columnar**: fields accumulate in typed ``array.array`` columns (~8 bytes
+per value instead of a per-record Python object) behind a small
+write-behind stage of plain lists that is folded in vectorized on first
+read, and convert to NumPy arrays on demand, following the HPC guides'
 "simulate in objects, analyze in arrays" split.  The row-record view is
 kept as a lazy iterator (:meth:`DropTrace.records`) for debugging and
 tests; analysis code should use the column properties.
@@ -62,10 +63,16 @@ class DropRecord(NamedTuple):
 class DropTrace:
     """Timestamped record of every packet dropped (or ECN-marked) at a queue.
 
-    Storage is columnar: parallel typed columns (time, flow id, seq, size,
-    kind code) appended per record.  The ``times``/``flow_ids``/``seqs``/
-    ``sizes``/``marked`` properties return fresh NumPy arrays; iterate
-    :meth:`records` for a row view.
+    Storage is columnar with a write-behind stage: records land in plain
+    Python lists (the fastest append CPython offers), and the first *read*
+    folds the staged rows into the typed ``array.array`` columns in one
+    vectorized pass per column.  Steady-state footprint is the typed
+    columns (~33 bytes per record); the stage only holds rows appended
+    since the last read.  ECN marks are staged sparsely (marks are rare —
+    most records are drops), so the hot path is four list appends and a
+    branch.  The ``times``/``flow_ids``/``seqs``/``sizes``/``marked``
+    properties return fresh NumPy arrays; iterate :meth:`records` for a
+    row view.
     """
 
     def __init__(self, name: str = "drops"):
@@ -76,51 +83,142 @@ class DropTrace:
         self._sizes = array("q")
         # Kind codes (KIND_DROP / KIND_MARK): one signed byte per record.
         self._kinds = array("b")
+        # Write-behind stage: rows since the last read, one list per
+        # column, plus the absolute indices of ECN-marked records.
+        self._stage_times: list[float] = []
+        self._stage_flow_ids: list[int] = []
+        self._stage_seqs: list[int] = []
+        self._stage_sizes: list[int] = []
+        self._stage_marks: list[int] = []
+        self._bind_record()
+
+    def _bind_record(self) -> None:
+        # Hot-path closure: ``record`` is called once per drop from inside
+        # the event loop, so the per-call attribute lookups
+        # (self._stage_times.append, ...) are hoisted into closure
+        # defaults, bound once here.  The instance attribute shadows the
+        # class method; the lists the defaults capture are the live ones,
+        # so ``_flush`` must clear them in place, never replace them.
+        # Subclasses that override ``record`` (e.g. QuantizedDropTrace)
+        # must keep their override visible, so skip the binding for them —
+        # their ``super().record(...)`` lands on the class-level fallback.
+        if type(self).record is not DropTrace.record:
+            return
+        def record(
+            pkt: Packet,
+            now: float,
+            marked: bool = False,
+            _t=self._stage_times.append,
+            _f=self._stage_flow_ids.append,
+            _s=self._stage_seqs.append,
+            _z=self._stage_sizes.append,
+        ) -> None:
+            """Append one record at the given timestamp."""
+            _t(now)
+            _f(pkt.flow_id)
+            _s(pkt.seq)
+            _z(pkt.size)
+            if marked:
+                self._stage_marks.append(
+                    len(self._times) + len(self._stage_times) - 1
+                )
+
+        self.record = record
 
     def record(self, pkt: Packet, now: float, marked: bool = False) -> None:
-        """Append one record at the given timestamp."""
-        self._times.append(now)
-        self._flow_ids.append(pkt.flow_id)
-        self._seqs.append(pkt.seq)
-        self._sizes.append(pkt.size)
-        self._kinds.append(KIND_MARK if marked else KIND_DROP)
+        """Append one record at the given timestamp (class-level fallback;
+        instances carry a bound fast path installed by ``_bind_record``)."""
+        self._stage_times.append(now)
+        self._stage_flow_ids.append(pkt.flow_id)
+        self._stage_seqs.append(pkt.seq)
+        self._stage_sizes.append(pkt.size)
+        if marked:
+            self._stage_marks.append(
+                len(self._times) + len(self._stage_times) - 1
+            )
+
+    def _flush(self) -> None:
+        """Fold staged rows into the typed columns (one pass per column)."""
+        staged = self._stage_times
+        if not staged:
+            return
+        kinds = np.zeros(len(staged), dtype=np.int8)
+        if self._stage_marks:
+            idx = np.asarray(self._stage_marks, dtype=np.int64)
+            kinds[idx - len(self._kinds)] = KIND_MARK
+            self._stage_marks.clear()
+        self._times.frombytes(np.asarray(staged, dtype=np.float64).tobytes())
+        self._flow_ids.frombytes(
+            np.asarray(self._stage_flow_ids, dtype=np.int64).tobytes()
+        )
+        self._seqs.frombytes(
+            np.asarray(self._stage_seqs, dtype=np.int64).tobytes()
+        )
+        self._sizes.frombytes(
+            np.asarray(self._stage_sizes, dtype=np.int64).tobytes()
+        )
+        self._kinds.frombytes(kinds.tobytes())
+        staged.clear()
+        self._stage_flow_ids.clear()
+        self._stage_seqs.clear()
+        self._stage_sizes.clear()
+
+    # Closures don't pickle: drop the bound fast path for transport (the
+    # multiprocessing drivers ship traces between workers) and re-bind on
+    # arrival.  Flush first so the pickle carries compact typed columns.
+    def __getstate__(self) -> dict:
+        self._flush()
+        state = self.__dict__.copy()
+        state.pop("record", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._bind_record()
 
     def __len__(self) -> int:
-        return len(self._times)
+        return len(self._times) + len(self._stage_times)
 
     # -- array views --------------------------------------------------------
     @property
     def times(self) -> np.ndarray:
         """Drop timestamps (seconds), in event order (non-decreasing)."""
+        self._flush()
         return _col_f64(self._times)
 
     @property
     def flow_ids(self) -> np.ndarray:
         """Per-record flow ids as an int64 array."""
+        self._flush()
         return _col_i64(self._flow_ids)
 
     @property
     def seqs(self) -> np.ndarray:
         """Per-record sequence numbers as an int64 array."""
+        self._flush()
         return _col_i64(self._seqs)
 
     @property
     def sizes(self) -> np.ndarray:
         """Per-record packet sizes (bytes) as an int64 array."""
+        self._flush()
         return _col_i64(self._sizes)
 
     @property
     def kinds(self) -> np.ndarray:
         """Per-record kind codes (:data:`KIND_DROP` / :data:`KIND_MARK`)."""
+        self._flush()
         return np.frombuffer(self._kinds, dtype=np.int8).copy()
 
     @property
     def marked(self) -> np.ndarray:
         """Per-record ECN-marked flags as a bool array."""
+        self._flush()
         return np.frombuffer(self._kinds, dtype=np.int8) == KIND_MARK
 
     def records(self) -> Iterator[DropRecord]:
         """Lazy row view: yield one :class:`DropRecord` per record."""
+        self._flush()
         for i in range(len(self._times)):
             yield DropRecord(
                 self._times[i],

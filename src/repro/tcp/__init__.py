@@ -11,12 +11,20 @@ Auxiliary sources: :class:`CbrSource` (measurement probes),
 """
 
 from repro.tcp.base import ACK_SIZE, TcpSender
+from repro.tcp.bbr import BbrSender
 from repro.tcp.bic import BicSender
 from repro.tcp.cbr import CbrSource
 from repro.tcp.fast import FastSender
 from repro.tcp.newreno import NewRenoSender
 from repro.tcp.onoff import OnOffSource, noise_fleet_params
-from repro.tcp.pacing import PacedSender
+from repro.tcp.pacing import PacedSender, QuicPacedSender
+from repro.tcp.registry import (
+    SenderSpec,
+    create_sender,
+    register_sender,
+    sender_names,
+    sender_spec,
+)
 from repro.tcp.reno import RenoSender
 from repro.tcp.sack import SackSender
 from repro.tcp.sink import ProbeSink, TcpSink, UdpSink
@@ -29,6 +37,7 @@ from repro.tcp.tfrc import (
 
 __all__ = [
     "ACK_SIZE",
+    "BbrSender",
     "BicSender",
     "CbrSource",
     "FastSender",
@@ -36,14 +45,20 @@ __all__ = [
     "OnOffSource",
     "PacedSender",
     "ProbeSink",
+    "QuicPacedSender",
     "RenoSender",
     "SackSender",
+    "SenderSpec",
     "TcpSender",
     "TcpSink",
     "TfrcReceiver",
     "TfrcSender",
     "UdpSink",
+    "create_sender",
     "noise_fleet_params",
+    "register_sender",
+    "sender_names",
+    "sender_spec",
     "tfrc_throughput_eq",
     "wali_loss_event_rate",
 ]

@@ -16,7 +16,7 @@ from typing import Optional
 from repro.sim.engine import Event
 from repro.tcp.newreno import NewRenoSender
 
-__all__ = ["PacedSender"]
+__all__ = ["PacedSender", "QuicPacedSender"]
 
 
 class PacedSender(NewRenoSender):
@@ -71,4 +71,69 @@ class PacedSender(NewRenoSender):
             self._emit(self.next_seq, retransmission=False)
             self.next_seq += 1
             self._earliest_next_tx = self.sim.now + self.pacing_interval()
+        self._schedule_pace()
+
+
+class QuicPacedSender(PacedSender):
+    """QUIC-style pacing: gain above the nominal rate plus a burst
+    allowance after idle periods.
+
+    Production QUIC stacks do not pace at exactly ``cwnd / RTT`` the way
+    the paper's TCP-Pacing does — they pace ~25% *faster* than the nominal
+    window rate (so pacing never becomes the bottleneck) and allow a small
+    back-to-back burst after quiescence to avoid slow restarts.  Both
+    choices re-concentrate transmissions in time, which is exactly the
+    variable the paper's Fig. 5/Fig. 7 analysis says controls how many
+    bursty loss events a flow samples — so this sender sits *between*
+    NewReno's full bursts and PacedSender's perfectly even spacing.
+
+    Parameters (in addition to :class:`PacedSender`'s):
+
+    pacing_gain:
+        Multiplier on the nominal ``cwnd / RTT`` rate (default 1.25).
+    burst_size:
+        Packets allowed back-to-back after an idle gap of one pacing RTT
+        (default 10, the common QUIC implementation default).
+    """
+
+    variant = "quic-pacing"
+
+    def __init__(self, *args, pacing_gain: float = 1.25, burst_size: int = 10,
+                 **kwargs):
+        super().__init__(*args, **kwargs)
+        if pacing_gain <= 0:
+            raise ValueError(f"pacing_gain must be positive, got {pacing_gain}")
+        if burst_size < 0:
+            raise ValueError(f"burst_size must be >= 0, got {burst_size}")
+        self.gain = float(pacing_gain)
+        self.burst_size = int(burst_size)
+        self._burst_tokens = self.burst_size
+        self._last_send_time = float("-inf")
+
+    def pacing_interval(self) -> float:
+        """Gap between emissions: RTT / (gain * cwnd) — 1/gain of the
+        evenly-paced spacing."""
+        return self.pacing_rtt() / max(self.gain * self.effective_window, 1.0)
+
+    def pacing_rate_bps(self) -> float:
+        """Nominal window rate times the pacing gain."""
+        return self.gain * super().pacing_rate_bps()
+
+    def _pace_fire(self) -> None:
+        self._pace_timer = None
+        if self.finished:
+            return
+        now = self.sim.now
+        if now - self._last_send_time > self.pacing_rtt():
+            # Quiescence: refill the burst allowance (QUIC's lumpy restart).
+            self._burst_tokens = self.burst_size
+        if self.can_send():
+            self._emit(self.next_seq, retransmission=False)
+            self.next_seq += 1
+            self._last_send_time = now
+            if self._burst_tokens > 0:
+                self._burst_tokens -= 1
+                self._earliest_next_tx = now  # inside the burst: no gap
+            else:
+                self._earliest_next_tx = now + self.pacing_interval()
         self._schedule_pace()

@@ -1,0 +1,168 @@
+"""Named sender registry — the protocol half of the protocol/AQM zoo.
+
+Experiment drivers resolve congestion-control variants by string key
+instead of importing sender classes, so a new protocol becomes a new
+grid column the moment it registers:
+
+>>> snd = create_sender("bbr", sim, host, flow_id, dst, rtt=0.05)
+
+Each entry carries a :class:`SenderSpec` with the metadata drivers need
+beyond the factory itself — most importantly ``rate_based``, which is
+the paper's own axis: window-based senders burst the ``w(t) - pif(t)``
+gap back-to-back, rate-based senders spread transmissions across the
+RTT, and Fig. 5/Fig. 7 show that this sub-RTT difference alone decides
+which flows sample the bursty loss process.  The zoo grid uses the flag
+to assign each sender to the baseline or challenger throughput class.
+
+The AQM counterpart is :func:`repro.sim.queues.make_queue`.
+
+Registered out of the box: ``reno``, ``newreno``, ``paced``,
+``quic-paced``, ``bbr``, ``bic``, ``sack``, ``fast``.  TFRC is *not*
+registered — it needs a :class:`~repro.tcp.tfrc.TfrcReceiver` rather
+than a plain :class:`~repro.tcp.sink.TcpSink`, so it does not fit the
+uniform sender/sink wiring contract; drivers use it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.tcp.base import TcpSender
+from repro.tcp.bbr import BbrSender
+from repro.tcp.bic import BicSender
+from repro.tcp.fast import FastSender
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.pacing import PacedSender, QuicPacedSender
+from repro.tcp.reno import RenoSender
+from repro.tcp.sack import SackSender
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.sim.node import Host
+
+__all__ = [
+    "SenderSpec",
+    "register_sender",
+    "create_sender",
+    "sender_names",
+    "sender_spec",
+]
+
+
+@dataclass(frozen=True)
+class SenderSpec:
+    """Registry entry for one congestion-control variant.
+
+    ``factory(sim, host, flow_id, dst, rtt, **kwargs)`` builds the
+    sender; ``rtt`` is the path's propagation RTT (rate-based senders
+    seed their pacing clock from it, window-based factories ignore it).
+    ``rate_based`` is the paper's sub-RTT emission-pattern class.
+    """
+
+    name: str
+    factory: Callable[..., TcpSender]
+    rate_based: bool
+    description: str
+
+
+_SENDER_REGISTRY: dict[str, SenderSpec] = {}
+
+
+def register_sender(name: str, *, rate_based: bool, description: str = ""):
+    """Decorator: register a sender factory under a string key.
+
+    Re-registering a name replaces the entry (extensions may refine a
+    core variant).
+    """
+
+    def deco(factory: Callable[..., TcpSender]):
+        _SENDER_REGISTRY[name] = SenderSpec(
+            name=name, factory=factory, rate_based=rate_based,
+            description=description,
+        )
+        return factory
+
+    return deco
+
+
+def sender_names() -> tuple[str, ...]:
+    """Registered protocol keys, sorted."""
+    return tuple(sorted(_SENDER_REGISTRY))
+
+
+def sender_spec(name: str) -> SenderSpec:
+    """Look up a registry entry; raises ``ValueError`` on unknown keys."""
+    try:
+        return _SENDER_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sender {name!r}; registered: {', '.join(sender_names())}"
+        ) from None
+
+
+def create_sender(
+    name: str,
+    sim: "Simulator",
+    host: "Host",
+    flow_id: int,
+    dst: int,
+    *,
+    rtt: Optional[float] = None,
+    **kwargs,
+) -> TcpSender:
+    """Build a sender by registry key with the uniform driver signature."""
+    return sender_spec(name).factory(sim, host, flow_id, dst, rtt=rtt, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Built-in zoo
+# ---------------------------------------------------------------------------
+
+
+@register_sender("reno", rate_based=False,
+                 description="TCP Reno: fast recovery deflates on first new ACK")
+def _make_reno(sim, host, flow_id, dst, rtt=None, **kwargs) -> RenoSender:
+    return RenoSender(sim, host, flow_id, dst, **kwargs)
+
+
+@register_sender("newreno", rate_based=False,
+                 description="TCP NewReno (the paper's window-based baseline)")
+def _make_newreno(sim, host, flow_id, dst, rtt=None, **kwargs) -> NewRenoSender:
+    return NewRenoSender(sim, host, flow_id, dst, **kwargs)
+
+
+@register_sender("paced", rate_based=True,
+                 description="TCP Pacing: NewReno at rate cwnd/RTT (paper §4)")
+def _make_paced(sim, host, flow_id, dst, rtt=None, **kwargs) -> PacedSender:
+    return PacedSender(sim, host, flow_id, dst, base_rtt=rtt, **kwargs)
+
+
+@register_sender("quic-paced", rate_based=True,
+                 description="QUIC-style pacing: 1.25x gain + idle burst allowance")
+def _make_quic(sim, host, flow_id, dst, rtt=None, **kwargs) -> QuicPacedSender:
+    return QuicPacedSender(sim, host, flow_id, dst, base_rtt=rtt, **kwargs)
+
+
+@register_sender("bbr", rate_based=True,
+                 description="BBRv1: model-based btlbw x rtprop pacing")
+def _make_bbr(sim, host, flow_id, dst, rtt=None, **kwargs) -> BbrSender:
+    return BbrSender(sim, host, flow_id, dst, base_rtt=rtt, **kwargs)
+
+
+@register_sender("bic", rate_based=False,
+                 description="BIC-TCP: binary-search window growth")
+def _make_bic(sim, host, flow_id, dst, rtt=None, **kwargs) -> BicSender:
+    return BicSender(sim, host, flow_id, dst, **kwargs)
+
+
+@register_sender("sack", rate_based=False,
+                 description="TCP SACK: selective-ack loss recovery")
+def _make_sack(sim, host, flow_id, dst, rtt=None, **kwargs) -> SackSender:
+    return SackSender(sim, host, flow_id, dst, **kwargs)
+
+
+@register_sender("fast", rate_based=False,
+                 description="FAST TCP: delay-based window law")
+def _make_fast(sim, host, flow_id, dst, rtt=None, **kwargs) -> FastSender:
+    return FastSender(sim, host, flow_id, dst, **kwargs)

@@ -1,0 +1,156 @@
+"""Zoo-grid smoke lane: every registered protocol and AQM runs a cell.
+
+This module is the ``make zoo-smoke`` lane.  Coverage is enforced, not
+assumed: ``TestRegistryCompleteness`` fails the moment someone registers
+a sender or queue kind without adding it to the smoke matrices below.
+"""
+
+import numpy as np
+import pytest
+
+import repro.extensions.ecn  # noqa: F401  (registers the "pecn" queue kind)
+from repro.experiments import Scale, run_fig7, run_zoo, run_zoo_cell
+from repro.experiments.zoo_grid import (
+    DEFAULT_AQMS,
+    DEFAULT_PROTOCOLS,
+    ZooCellResult,
+)
+from repro.sim.queues import queue_kinds
+from repro.tcp.registry import sender_names
+
+TINY = Scale(
+    name="fast",
+    capacity_bps=10e6,
+    n_tcp_flows=4,
+    n_noise_flows=2,
+    noise_load=0.10,
+    measure_duration=6.0,
+    fig7_capacity_bps=10e6,
+    fig7_flows_per_class=2,
+    fig7_duration=6.0,
+    fig8_capacity_bps=10e6,
+    fig8_total_bytes=1 * 2**20,
+    fig8_flow_counts=(2,),
+    fig8_rtts=(0.050,),
+    fig8_repetitions=1,
+    campaign_experiments=10,
+    campaign_probe_duration=10.0,
+)
+
+#: Smoke matrices.  EVERY registered sender and queue kind must appear
+#: here (TestRegistryCompleteness enforces it); the cross product stays
+#: linear by smoking each axis against one fixed partner.
+SMOKE_PROTOCOLS = (
+    "reno", "newreno", "paced", "quic-paced", "bbr", "bic", "sack", "fast",
+)
+SMOKE_AQMS = ("droptail", "red", "codel", "fq-codel", "pecn")
+
+
+def check_cell(cell, protocol, aqm):
+    assert cell.protocol == protocol and cell.aqm == aqm
+    assert cell.mean_baseline_mbps > 0
+    assert cell.mean_challenger_mbps > 0
+    # Both classes together cannot exceed the 10 Mbps bottleneck.
+    total = cell.mean_baseline_mbps + cell.mean_challenger_mbps
+    assert total < 10.5
+    assert len(cell.times) == len(cell.baseline_mbps)
+
+
+class TestRegistryCompleteness:
+    """A registered variant without a smoke test is a CI failure."""
+
+    def test_every_sender_is_smoked(self):
+        missing = set(sender_names()) - set(SMOKE_PROTOCOLS)
+        assert not missing, (
+            f"registered sender(s) {sorted(missing)} have no zoo smoke "
+            "test; add them to SMOKE_PROTOCOLS in tests/experiments/test_zoo.py"
+        )
+
+    def test_every_queue_kind_is_smoked(self):
+        missing = set(queue_kinds()) - set(SMOKE_AQMS)
+        assert not missing, (
+            f"registered queue kind(s) {sorted(missing)} have no zoo smoke "
+            "test; add them to SMOKE_AQMS in tests/experiments/test_zoo.py"
+        )
+
+    def test_defaults_are_subsets_of_the_registries(self):
+        assert set(DEFAULT_PROTOCOLS) <= set(sender_names())
+        assert set(DEFAULT_AQMS) <= set(queue_kinds())
+
+
+class TestZooCells:
+    @pytest.mark.parametrize("protocol", SMOKE_PROTOCOLS)
+    def test_protocol_cell_over_droptail(self, protocol):
+        cell = run_zoo_cell(3, TINY, protocol, "droptail")
+        check_cell(cell, protocol, "droptail")
+
+    @pytest.mark.parametrize("aqm", SMOKE_AQMS)
+    def test_aqm_cell_under_newreno(self, aqm):
+        cell = run_zoo_cell(3, TINY, "newreno", aqm)
+        check_cell(cell, "newreno", aqm)
+        if aqm in ("codel", "fq-codel"):
+            # Sojourn-time disciplines drop at dequeue, not arrival.
+            assert cell.dropped_head > 0
+
+    def test_paced_droptail_cell_is_fig7_byte_identical(self):
+        """The pinned equivalence: the zoo's (paced, droptail) cell IS the
+        paper's Figure 7 scenario, bit for bit."""
+        cell = run_zoo_cell(3, TINY, "paced", "droptail")
+        fig7 = run_fig7(seed=3, scale=TINY)
+        assert np.array_equal(cell.times, fig7.times)
+        assert np.array_equal(cell.baseline_mbps, fig7.newreno_mbps)
+        assert np.array_equal(cell.challenger_mbps, fig7.pacing_mbps)
+        assert cell.mean_baseline_mbps == fig7.mean_newreno_mbps
+        assert cell.mean_challenger_mbps == fig7.mean_pacing_mbps
+
+    def test_cell_record_roundtrip(self):
+        cell = run_zoo_cell(3, TINY, "newreno", "red")
+        back = ZooCellResult.from_record(cell.to_record())
+        assert back.protocol == cell.protocol
+        assert back.mean_challenger_mbps == cell.mean_challenger_mbps
+        assert back.dropped == cell.dropped
+        assert back.times is None  # series are summary-only in records
+
+
+class TestZooGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_zoo(seed=3, scale=TINY,
+                       protocols=("newreno", "paced"),
+                       aqms=("droptail", "codel"))
+
+    def test_grid_covers_the_cross_product(self, grid):
+        assert len(grid.cells) == 4
+        got = {(c.protocol, c.aqm) for c in grid.cells}
+        assert got == {("newreno", "droptail"), ("newreno", "codel"),
+                       ("paced", "droptail"), ("paced", "codel")}
+        assert not grid.failed
+
+    def test_cell_lookup(self, grid):
+        assert grid.cell("paced", "codel").protocol == "paced"
+        with pytest.raises(KeyError):
+            grid.cell("bbr", "droptail")
+
+    def test_text_report_shape(self, grid):
+        text = grid.to_text()
+        assert "Protocol/AQM zoo" in text
+        assert "newreno" in text and "codel" in text
+        assert "deficit" in text and "hdrop" in text
+
+    def test_checkpoint_resume_is_identical(self, grid, tmp_path, monkeypatch):
+        """An interrupted-then-resumed grid equals the fresh run."""
+        monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
+        first = run_zoo(seed=3, scale=TINY,
+                        protocols=("newreno", "paced"),
+                        aqms=("droptail", "codel"))
+        assert first.resumed == 0
+        assert (tmp_path / "zoo.jsonl").exists()
+        second = run_zoo(seed=3, scale=TINY,
+                         protocols=("newreno", "paced"),
+                         aqms=("droptail", "codel"))
+        assert second.resumed == 4  # every cell restored, none re-run
+        assert [c.to_record() for c in second.cells] == \
+               [c.to_record() for c in first.cells]
+        # And the checkpointed cells match the uncheckpointed grid.
+        assert [c.to_record() for c in first.cells] == \
+               [c.to_record() for c in grid.cells]

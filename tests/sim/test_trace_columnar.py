@@ -108,3 +108,46 @@ def test_tracefile_roundtrip_of_columnar_trace(tmp_path):
     np.testing.assert_array_equal(loaded.flow_ids, tr.flow_ids)
     np.testing.assert_array_equal(loaded.marked, tr.marked)
     assert loaded.rtt == pytest.approx(0.05)
+
+
+def test_stage_folds_into_typed_columns_on_read():
+    """Appends land in the write-behind stage; any read folds them into
+    the typed columns, so the steady-state footprint stays ~33 B/record."""
+    tr = DropTrace()
+    for i in range(10):
+        tr.record(_pkt(seq=i), i * 0.1)
+    assert len(tr._stage_times) == 10  # staged, not yet folded
+    assert len(tr._times) == 0
+    assert len(tr) == 10  # length counts staged rows without folding
+    np.testing.assert_array_equal(tr.seqs, np.arange(10))
+    assert len(tr._stage_times) == 0  # the read folded the stage
+    assert len(tr._times) == 10
+
+
+def test_marks_preserved_across_interleaved_folds():
+    """Sparse mark indices survive reads that happen mid-append."""
+    tr = DropTrace()
+    tr.record(_pkt(seq=0), 0.0, marked=True)
+    _ = tr.times  # fold with a mark pending
+    tr.record(_pkt(seq=1), 1.0)
+    tr.record(_pkt(seq=2), 2.0, marked=True)
+    _ = tr.flow_ids  # fold again
+    tr.record(_pkt(seq=3), 3.0, marked=True)
+    np.testing.assert_array_equal(tr.marked, [True, False, True, True])
+    np.testing.assert_array_equal(
+        tr.kinds, [KIND_MARK, KIND_DROP, KIND_MARK, KIND_MARK]
+    )
+
+
+def test_pickle_roundtrip_with_staged_rows():
+    """Pickling flushes the stage and re-binds the record fast path."""
+    import pickle
+
+    tr = DropTrace("shippable")
+    for i in range(5):
+        tr.record(_pkt(seq=i), float(i), marked=(i == 2))
+    back = pickle.loads(pickle.dumps(tr))
+    np.testing.assert_array_equal(back.marked, [False, False, True, False, False])
+    back.record(_pkt(seq=99), 9.0)  # the rebound closure still appends
+    assert len(back) == 6
+    assert back.seqs[-1] == 99
