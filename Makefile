@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test check-invariants faults report zoo-smoke bench bench-smoke bench-micro bench-paper figures examples clean
+.PHONY: install test check-invariants faults report zoo-smoke chaos campaign-smoke bench bench-smoke bench-micro bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: check-invariants faults report zoo-smoke bench-smoke
+test: check-invariants faults report zoo-smoke chaos campaign-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
+
+# Chaos lane: SIGKILL the live campaign supervisor from outside, hang
+# and kill its shard workers from inside, resume — every scenario must
+# converge to bytes identical to a clean run.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/internet/test_chaos.py
+
+# Crash-tolerant campaign smoke: a ~50-site sharded campaign is
+# SIGKILLed mid-run and resumed from its shard ledger, byte-identical
+# to the uninterrupted reference, under an explicit wall-clock budget.
+campaign-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.internet.smoke
 
 # Protocol/AQM zoo lane: every registered sender and queue kind must run
 # a grid cell (the registry-completeness tests fail on unregistered-but-

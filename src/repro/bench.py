@@ -75,6 +75,7 @@ class BenchConfig:
     fig2_noise: int  # scaled scenario: noise flows
     fig2_duration: float  # scaled scenario: simulated seconds
     overhead_check: bool  # also measure disabled-telemetry overhead
+    campaign_paths: int = 56  # sharded-campaign stage: directed paths probed
 
 
 FULL = BenchConfig(
@@ -89,6 +90,7 @@ FULL = BenchConfig(
     fig2_noise=12,
     fig2_duration=8.0,
     overhead_check=False,
+    campaign_paths=240,
 )
 
 SMOKE = BenchConfig(
@@ -103,6 +105,7 @@ SMOKE = BenchConfig(
     fig2_noise=4,
     fig2_duration=2.0,
     overhead_check=True,
+    campaign_paths=30,
 )
 
 
@@ -387,6 +390,31 @@ def _bench_fig2_scaled(cfg: BenchConfig) -> dict:
     }
 
 
+def _bench_campaign_shard(cfg: BenchConfig) -> dict:
+    """Sharded-campaign path throughput (the supervisor's worker hot
+    path): probe ``campaign_paths`` directed paths through the streaming
+    :class:`~repro.internet.shards.GapHistogram` reducer and report
+    paths/sec plus the reducer's (constant) state footprint."""
+    from repro.internet.probe import ProbeConfig
+    from repro.internet.shards import plan_shards, reduce_shards, run_shard
+
+    probe = ProbeConfig(duration=1.0)
+    specs = plan_shards(26, 4, seed=2006, n_paths=cfg.campaign_paths)
+
+    t0 = time.perf_counter()
+    results = [run_shard(s, probe_config=probe) for s in specs]
+    wall = time.perf_counter() - t0
+    merged, counters = reduce_shards(results)
+    return {
+        "unit": "paths/sec",
+        "n": counters["n_experiments"],
+        "n_shards": len(specs),
+        "wall_s": round(wall, 6),
+        "optimized": round(counters["n_experiments"] / wall, 1),
+        "reducer_state_bytes": int(merged.state_nbytes()),
+    }
+
+
 def _bench_overhead(cfg: BenchConfig) -> dict:
     """Disabled-telemetry overhead: bare run vs inert observe_run wiring
     (min-of-N, interleaved).  Mirrors the test_perf_micro tripwire."""
@@ -453,6 +481,7 @@ def run_bench(cfg: BenchConfig = FULL, quiet: bool = False) -> dict:
         ("trace_append", _bench_trace_append),
         ("analysis_detection", _bench_analysis),
         ("fig2_scaled", _bench_fig2_scaled),
+        ("campaign_shard", _bench_campaign_shard),
     ]
     if cfg.overhead_check:
         stages.append(("telemetry_overhead", _bench_overhead))
@@ -466,8 +495,13 @@ def run_bench(cfg: BenchConfig = FULL, quiet: bool = False) -> dict:
                     f"{result['optimized']:>12,.0f} {result['unit']:<12} "
                     f"({result['speedup']:.2f}x)"
                 )
-            else:
+            elif "overhead" in result:
                 print(f"  {name:<20} overhead {result['overhead']:.3f}x")
+            else:
+                print(
+                    f"  {name:<20} {result['optimized']:>12,.1f} "
+                    f"{result['unit']:<12}"
+                )
     doc = {
         "schema": SCHEMA,
         "mode": cfg.name,
@@ -510,6 +544,14 @@ def validate_bench(doc: dict) -> None:
                 raise ValueError(f"{name}.{field} must be a positive number")
     if benches["fig2_scaled"].get("identical_drops") is not True:
         raise ValueError("fig2_scaled.identical_drops must be true")
+    campaign = benches.get("campaign_shard")
+    if campaign is not None:
+        for field in ("optimized", "reducer_state_bytes"):
+            v = campaign.get(field)
+            if not (isinstance(v, (int, float)) and v > 0):
+                raise ValueError(
+                    f"campaign_shard.{field} must be a positive number"
+                )
     overhead = benches.get("telemetry_overhead")
     if overhead is not None and not overhead.get("overhead", 99.0) < 1.05:
         raise ValueError(

@@ -14,6 +14,17 @@ paper-shaped output (the same text the benchmarks print).
 suite (:mod:`repro.bench`): paired baseline-vs-optimized measurements
 written to the next free ``BENCH_<n>.json`` in DIR.
 
+``python -m repro campaign --sites M --shards N --state-dir DIR`` runs a
+crash-tolerant sharded measurement campaign
+(:mod:`repro.internet.supervisor`): the O(sites²) path matrix is split
+into deterministic shards, executed under a supervising parent
+(heartbeats, retry backoff, poison-shard quarantine), and reduced into
+the Figure 4 distribution.  ``--resume`` picks up a killed campaign from
+its state directory, byte-identical to an uninterrupted run;
+``--workers N`` fans shards over real worker processes; with
+``--inject-faults SEED`` worker SIGKILLs and hangs are injected on top
+(the chaos lane).
+
 ``--check-invariants`` arms the packet-conservation checker
 (:mod:`repro.obs`) for drivers that support it: any accounting violation
 aborts the run with a diagnostic ``InvariantViolation``.  ``--metrics-out
@@ -184,10 +195,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "report", "bench"],
+        choices=sorted(EXPERIMENTS) + ["all", "list", "report", "bench", "campaign"],
         help="which figure/table to regenerate ('list' to enumerate; "
         "'report' renders a recorded telemetry run directory; 'bench' "
-        "runs the tracked benchmark suite)",
+        "runs the tracked benchmark suite; 'campaign' runs a supervised "
+        "sharded measurement campaign)",
     )
     p.add_argument(
         "target",
@@ -279,6 +291,60 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with the 'report' command: also render report.html",
     )
+    camp = p.add_argument_group("campaign command")
+    camp.add_argument(
+        "--sites",
+        type=int,
+        default=26,
+        metavar="M",
+        help="campaign mesh size: first 26 sites are the paper's Table 1, "
+        "the rest synthetic (default 26)",
+    )
+    camp.add_argument(
+        "--shards",
+        type=int,
+        default=8,
+        metavar="N",
+        help="number of self-contained shard jobs the path matrix is "
+        "partitioned into (default 8)",
+    )
+    camp.add_argument(
+        "--paths",
+        type=int,
+        default=None,
+        metavar="P",
+        help="cap the campaign to the first P directed paths "
+        "(default: the full sites*(sites-1) matrix)",
+    )
+    camp.add_argument(
+        "--state-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="campaign state directory (shard ledger + fingerprinted "
+        "records + heartbeats); falls back to $REPRO_CHECKPOINT_DIR",
+    )
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a killed campaign from its state directory "
+        "(byte-identical to an uninterrupted run)",
+    )
+    camp.add_argument(
+        "--probe-duration",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-path probe duration in seconds (default: ProbeConfig)",
+    )
+    camp.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        metavar="SEC",
+        help="supervisor reaps a worker whose heartbeat progress stalls "
+        "this long (default 30)",
+    )
     return p
 
 
@@ -318,6 +384,70 @@ def _run_report(target: Optional[str], html: bool) -> int:
     return 0
 
 
+def _run_campaign(args) -> int:
+    """The ``campaign`` command: a supervised sharded campaign."""
+    from repro.faults import ENV_CHECKPOINT_DIR, FaultPlan
+    from repro.internet.probe import ProbeConfig
+    from repro.internet.shards import plan_shards
+    from repro.internet.supervisor import SupervisorConfig, run_sharded_campaign
+    from repro.obs.runtime import open_flight_log
+
+    state_dir = args.state_dir or os.environ.get(ENV_CHECKPOINT_DIR, "").strip()
+    if not state_dir:
+        print(
+            "campaign: a state directory is required "
+            "(--state-dir DIR or $REPRO_CHECKPOINT_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    seed = args.seed if args.seed != 1 else 2006
+    probe_config = (
+        ProbeConfig(duration=args.probe_duration)
+        if args.probe_duration is not None
+        else ProbeConfig()
+    )
+    workers = args.workers if args.workers is not None else 0
+    specs = plan_shards(args.sites, args.shards, seed=seed, n_paths=args.paths)
+    fault_plan = None
+    if args.inject_faults is not None:
+        fault_plan = FaultPlan.sample_shard_faults(
+            args.inject_faults,
+            n_shards=args.shards,
+            shard_paths=min(s.n_paths for s in specs),
+        )
+    config = SupervisorConfig(workers=workers, hang_timeout=args.hang_timeout)
+    log = open_flight_log(
+        "campaign",
+        manifest={
+            "seed": seed,
+            "sites": args.sites,
+            "shards": args.shards,
+            "paths": specs[-1].stop,
+            "workers": workers,
+            "resume": bool(args.resume),
+        },
+    )
+    t0 = time.perf_counter()
+    result = run_sharded_campaign(
+        n_sites=args.sites,
+        n_shards=args.shards,
+        state_dir=state_dir,
+        seed=seed,
+        n_paths=args.paths,
+        probe_config=probe_config,
+        resume=args.resume,
+        fault_plan=fault_plan,
+        tracer=log.tracer,
+        config=config,
+    )
+    elapsed = time.perf_counter() - t0
+    log.finalize()
+    print(result.summary())
+    rate = result.n_experiments / elapsed if elapsed > 0 else float("inf")
+    print(f"[campaign: {elapsed:.1f}s, {rate:.0f} paths/s]", file=sys.stderr)
+    return 0
+
+
 def _resolve_scale(name: Optional[str]):
     if name is None:
         return None
@@ -348,7 +478,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     scale = _resolve_scale(args.scale)
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment == "campaign":
+        names = []
+    elif args.experiment == "all":
+        names = list(EXPERIMENTS)
+    else:
+        names = [args.experiment]
     sink = open(args.out, "a") if args.out else None
     # The observability layer is configured through the environment so the
     # knobs reach experiment drivers without threading new parameters
@@ -384,6 +519,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.report:
         os.environ[ENV_REPORT] = "1"
     try:
+        if args.experiment == "campaign":
+            if args.telemetry_out:
+                os.environ[ENV_TELEMETRY_OUT] = args.telemetry_out
+            return _run_campaign(args)
         for name in names:
             runner, desc = EXPERIMENTS[name]
             if args.metrics_out:

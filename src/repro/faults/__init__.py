@@ -37,6 +37,8 @@ from repro.faults.plan import (
     ProbeCrash,
     ProbeCrashError,
     TraceTruncation,
+    WorkerHang,
+    WorkerKill,
     fault_seed_from_env,
 )
 from repro.faults.resilient import (
@@ -65,6 +67,8 @@ __all__ = [
     "Result",
     "RetryPolicy",
     "TraceTruncation",
+    "WorkerHang",
+    "WorkerKill",
     "checkpoint_path_from_env",
     "fault_seed_from_env",
     "on_error_from_env",

@@ -3,11 +3,16 @@
 A checkpoint file holds one meta line (what run this is: kind, seed, item
 count) followed by one JSON record per *completed* work item.  Appends are
 flushed and fsynced, so a killed run loses at most the record it was
-writing; :meth:`Checkpoint.load` tolerates exactly that — a truncated
-final line — and rejects anything else as corruption.  Resuming is then
-just "skip the indices already on disk": the caller re-derives per-item
-RNG streams from the run seed, so the merged result is bit-identical to an
-uninterrupted run.
+writing.  The durability rule is newline-terminated-or-nothing: a record
+only counts once its trailing newline is on disk.  A kill mid-append
+leaves a torn final line; :meth:`Checkpoint.load` (and the first
+:meth:`Checkpoint.append` after reopening) detects it, warns, drops the
+partial record, and truncates the file back to the last complete line —
+if the torn bytes were left in place, the next append would concatenate
+onto them and poison every later resume.  Anything else undecodable is
+real corruption and raises.  Resuming is then just "skip the indices
+already on disk": the caller re-derives per-item RNG streams from the run
+seed, so the merged result is bit-identical to an uninterrupted run.
 
 Floats survive the round trip exactly: ``json`` serializes via
 ``float.__repr__``, which is lossless for IEEE-754 doubles.
@@ -17,6 +22,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import IO, Optional, Union
 
@@ -67,16 +73,48 @@ class Checkpoint:
         self.meta.setdefault("version", _FORMAT_VERSION)
         self._fh: Optional[IO[str]] = None
 
+    # -- torn-tail repair ------------------------------------------------
+    def _repair_torn_tail(self) -> int:
+        """Drop a partial trailing line left by a kill mid-append.
+
+        A record is durable only once its newline reaches disk, so any
+        bytes after the last ``\\n`` are the append a crash interrupted —
+        never a record.  They must also be *removed*: a later append
+        would otherwise concatenate onto them, welding two records into
+        one undecodable line and poisoning every subsequent resume.
+        Returns the number of bytes dropped (0 when the file is clean).
+        """
+        if not self.path.exists():
+            return 0
+        raw = self.path.read_bytes()
+        if not raw or raw.endswith(b"\n"):
+            return 0
+        keep = raw.rfind(b"\n") + 1  # 0 when no newline at all
+        torn = len(raw) - keep
+        warnings.warn(
+            f"{self.path}: dropping {torn}-byte partial record left by an "
+            f"interrupted append (resuming from the last complete line)",
+            stacklevel=3,
+        )
+        with self.path.open("rb+") as fh:
+            fh.truncate(keep)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return torn
+
     # -- reading ---------------------------------------------------------
     def load(self) -> dict[int, dict]:
         """Completed records by index (empty when no file exists).
 
         A truncated final line (the append a crash interrupted) is
-        dropped; an undecodable line anywhere else raises
-        :class:`CheckpointError`, as does a meta mismatch.
+        dropped — with a warning — and the file is repaired in place so
+        later appends start from a clean tail.  An undecodable *complete*
+        line anywhere raises :class:`CheckpointError`, as does a meta
+        mismatch: those are corruption, not an interrupted write.
         """
         if not self.path.exists():
             return {}
+        self._repair_torn_tail()
         raw = self.path.read_text()
         lines = raw.split("\n")
         if lines and lines[-1] == "":
@@ -86,8 +124,6 @@ class Checkpoint:
             try:
                 obj = json.loads(line)
             except json.JSONDecodeError:
-                if pos == len(lines) - 1:
-                    break  # interrupted append: drop the partial record
                 raise CheckpointError(
                     f"{self.path}: corrupt checkpoint line {pos + 1}"
                 ) from None
@@ -117,6 +153,7 @@ class Checkpoint:
         """Durably log item ``index`` as completed."""
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._repair_torn_tail()
             fresh = not self.path.exists() or self.path.stat().st_size == 0
             self._fh = self.path.open("a")
             if fresh:

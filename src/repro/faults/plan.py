@@ -48,6 +48,8 @@ __all__ = [
     "ClockSkew",
     "ProbeCrash",
     "TraceTruncation",
+    "WorkerKill",
+    "WorkerHang",
     "FaultPlan",
     "ENV_FAULTS",
     "fault_seed_from_env",
@@ -152,6 +154,47 @@ class ProbeCrash:
 
 
 @dataclass(frozen=True)
+class WorkerKill:
+    """Shard ``shard_id``'s worker SIGKILLs itself after ``after_paths``
+    completed paths, on its first ``kills`` attempts — modelling an OOM
+    kill or node loss mid-shard.  Only realized by process-isolated
+    workers (:mod:`repro.internet.supervisor`); the supervising parent
+    detects the dead process and reschedules the shard."""
+
+    shard_id: int
+    after_paths: int = 0
+    kills: int = 1
+
+    def __post_init__(self):
+        if self.shard_id < 0 or self.after_paths < 0:
+            raise ValueError("shard_id and after_paths must be non-negative")
+        if self.kills < 1:
+            raise ValueError(f"kills must be >= 1, got {self.kills}")
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """Shard ``shard_id``'s worker wedges (stops heartbeating) after
+    ``after_paths`` completed paths, on its first ``hangs`` attempts.
+
+    ``duration=None`` hangs forever — the supervisor's hang detector must
+    SIGKILL it; a finite ``duration`` just stalls (for serial tests)."""
+
+    shard_id: int
+    after_paths: int = 0
+    hangs: int = 1
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        if self.shard_id < 0 or self.after_paths < 0:
+            raise ValueError("shard_id and after_paths must be non-negative")
+        if self.hangs < 1:
+            raise ValueError(f"hangs must be >= 1, got {self.hangs}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
 class TraceTruncation:
     """Keep only the leading ``keep_fraction`` of a tracefile's bytes."""
 
@@ -179,6 +222,8 @@ class FaultPlan:
         self.spikes: list[LossSpike] = []
         self.skew: Optional[ClockSkew] = None
         self.crashes: dict[int, ProbeCrash] = {}
+        self.worker_kills: dict[int, WorkerKill] = {}
+        self.worker_hangs: dict[int, WorkerHang] = {}
         self.truncation: Optional[TraceTruncation] = None
         #: Realized injections by kind (counted where the plan executes).
         self.injected: dict[str, int] = {}
@@ -210,6 +255,31 @@ class FaultPlan:
     def add_probe_crash(self, index: int, crashes: int = 1) -> "FaultPlan":
         """Crash experiment ``index`` on its first ``crashes`` attempts."""
         self.crashes[index] = ProbeCrash(index=index, crashes=crashes)
+        return self
+
+    def add_worker_kill(
+        self, shard_id: int, after_paths: int = 0, kills: int = 1
+    ) -> "FaultPlan":
+        """SIGKILL shard ``shard_id``'s worker on its first ``kills``
+        attempts, after ``after_paths`` completed paths."""
+        self.worker_kills[shard_id] = WorkerKill(
+            shard_id=shard_id, after_paths=after_paths, kills=kills
+        )
+        return self
+
+    def add_worker_hang(
+        self,
+        shard_id: int,
+        after_paths: int = 0,
+        hangs: int = 1,
+        duration: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Wedge shard ``shard_id``'s worker (stop heartbeating) on its
+        first ``hangs`` attempts, after ``after_paths`` completed paths."""
+        self.worker_hangs[shard_id] = WorkerHang(
+            shard_id=shard_id, after_paths=after_paths, hangs=hangs,
+            duration=duration,
+        )
         return self
 
     def set_trace_truncation(self, keep_fraction: float = 0.5) -> "FaultPlan":
@@ -276,6 +346,37 @@ class FaultPlan:
             plan.add_probe_crash(int(idx))
         return plan
 
+    @classmethod
+    def sample_shard_faults(
+        cls,
+        seed: int,
+        n_shards: int,
+        shard_paths: int,
+        n_kills: int = 2,
+        n_hangs: int = 1,
+    ) -> "FaultPlan":
+        """Sample a supervisor-leg plan: ``n_kills`` worker SIGKILLs and
+        ``n_hangs`` worker hangs on distinct random shards, each firing
+        after a random number of completed paths (first attempt only, so
+        a retrying supervisor always converges) — deterministic per seed.
+
+        ``shard_paths`` is the (smallest) shard size; fault trigger points
+        are drawn inside it so every armed fault actually fires.
+        """
+        if n_shards < 1 or shard_paths < 1:
+            raise ValueError("need positive shard count and shard size")
+        plan = cls(seed)
+        rng = plan.streams.stream("faults/shards")
+        n_faulty = min(n_kills + n_hangs, n_shards)
+        picks = [int(s) for s in rng.choice(n_shards, size=n_faulty, replace=False)]
+        for i, sid in enumerate(picks):
+            at = int(rng.integers(0, shard_paths))
+            if i < min(n_kills, n_faulty):
+                plan.add_worker_kill(sid, after_paths=at)
+            else:
+                plan.add_worker_hang(sid, after_paths=at)
+        return plan
+
     # -- accounting ------------------------------------------------------
     def attach_metrics(self, registry: "MetricsRegistry") -> None:
         """Count realized injections as ``faults.injected.<kind>``."""
@@ -316,6 +417,16 @@ class FaultPlan:
             "probe_crashes": [
                 {"index": c.index, "crashes": c.crashes}
                 for c in sorted(self.crashes.values(), key=lambda c: c.index)
+            ],
+            "worker_kills": [
+                {"shard_id": k.shard_id, "after_paths": k.after_paths,
+                 "kills": k.kills}
+                for k in sorted(self.worker_kills.values(), key=lambda k: k.shard_id)
+            ],
+            "worker_hangs": [
+                {"shard_id": h.shard_id, "after_paths": h.after_paths,
+                 "hangs": h.hangs, "duration": h.duration}
+                for h in sorted(self.worker_hangs.values(), key=lambda h: h.shard_id)
             ],
             "trace_truncation": (
                 None if self.truncation is None
@@ -367,6 +478,35 @@ class FaultPlan:
                 f"injected probe crash: experiment {index}, attempt {attempt} "
                 f"of {crash.crashes} armed"
             )
+
+    # -- supervisor leg --------------------------------------------------
+    def shard_fault_check(self, shard_id: int, progress: int, attempt: int) -> None:
+        """Realize an armed worker-level fault for ``shard_id`` at
+        ``progress`` completed paths on ``attempt`` (1-based).
+
+        A :class:`WorkerKill` SIGKILLs the calling process — no cleanup,
+        no exception, exactly what a kernel OOM kill looks like to the
+        supervisor.  A :class:`WorkerHang` stops making progress (sleeps
+        forever, or ``duration`` seconds when finite) so the supervisor's
+        heartbeat stall detector has to reap it.  Only process-isolated
+        shard workers may call this; in-process execution must not
+        (a self-SIGKILL would take the whole campaign down).
+        """
+        import signal
+        import time as _time
+
+        kill = self.worker_kills.get(shard_id)
+        if kill is not None and progress == kill.after_paths and attempt <= kill.kills:
+            self.record("worker_sigkill")
+            os.kill(os.getpid(), signal.SIGKILL)
+        hang = self.worker_hangs.get(shard_id)
+        if hang is not None and progress == hang.after_paths and attempt <= hang.hangs:
+            self.record("worker_hang")
+            if hang.duration is not None:
+                _time.sleep(hang.duration)
+            else:
+                while True:  # wedge until the supervisor reaps us
+                    _time.sleep(3600.0)
 
     def outage_mask(self, send_times: np.ndarray, started_at: float) -> np.ndarray:
         """Which probes (relative send times) fall in an outage window."""

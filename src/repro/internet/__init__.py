@@ -8,11 +8,33 @@ bursty loss models (:mod:`repro.internet.pathmodel`), 48 B / 400 B CBR
 probe pairs with the similarity validation rule
 (:mod:`repro.internet.probe`), and random-pair campaign orchestration
 (:mod:`repro.internet.campaign`).
+
+Beyond the paper's scale, :mod:`repro.internet.shards` partitions the
+O(sites²) path matrix of an arbitrarily large synthetic mesh into
+deterministic shard jobs reduced by a constant-memory streaming
+histogram, and :mod:`repro.internet.supervisor` runs those shards under
+a crash-tolerant supervising parent (heartbeats, retry with backoff,
+poison-shard quarantine, byte-identical resume).
 """
 
 from repro.internet.campaign import Campaign, CampaignResult, Experiment
 from repro.internet.pathmodel import PathLossModel, sample_path_loss_model
-from repro.internet.paths import PathRtt, RttMatrix, build_rtt_matrix
+from repro.internet.paths import PathRtt, RttMatrix, build_rtt_matrix, synthesize_path
+from repro.internet.shards import (
+    GapHistogram,
+    ShardResult,
+    ShardSpec,
+    SyntheticMesh,
+    plan_shards,
+    reduce_shards,
+    run_shard,
+)
+from repro.internet.supervisor import (
+    CampaignSupervisor,
+    ShardedCampaignResult,
+    SupervisorConfig,
+    run_sharded_campaign,
+)
 from repro.internet.probe import (
     PROBE_SIZES,
     ProbeConfig,
@@ -21,12 +43,22 @@ from repro.internet.probe import (
     validate_pair,
 )
 from repro.internet.simpath import LossyLink, build_sim_path
-from repro.internet.sites import SITES, Region, Site, n_directed_paths, sites, sites_by_region
+from repro.internet.sites import (
+    SITES,
+    Region,
+    Site,
+    n_directed_paths,
+    sites,
+    sites_by_region,
+    synthetic_sites,
+)
 
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "CampaignSupervisor",
     "Experiment",
+    "GapHistogram",
     "LossyLink",
     "PROBE_SIZES",
     "PathLossModel",
@@ -36,13 +68,24 @@ __all__ = [
     "Region",
     "RttMatrix",
     "SITES",
+    "ShardResult",
+    "ShardSpec",
+    "ShardedCampaignResult",
     "Site",
+    "SupervisorConfig",
+    "SyntheticMesh",
     "build_rtt_matrix",
     "build_sim_path",
     "n_directed_paths",
+    "plan_shards",
+    "reduce_shards",
     "run_probe",
+    "run_shard",
+    "run_sharded_campaign",
     "sample_path_loss_model",
     "sites",
     "sites_by_region",
+    "synthesize_path",
+    "synthetic_sites",
     "validate_pair",
 ]

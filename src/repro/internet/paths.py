@@ -17,7 +17,7 @@ import numpy as np
 from repro.internet.sites import SITES, Region, Site
 from repro.sim.rng import RngStreams
 
-__all__ = ["PathRtt", "RttMatrix", "build_rtt_matrix"]
+__all__ = ["PathRtt", "RttMatrix", "build_rtt_matrix", "synthesize_path"]
 
 # One-way "distance class" per region pair: base RTT in seconds for a path
 # between regions.  Symmetric; same-region pairs use the diagonal.
@@ -96,6 +96,31 @@ class PathRtt:
         return self.base_rtt * float(swing)
 
 
+def synthesize_path(
+    streams: RngStreams, src: Site, dst: Site, min_rtt: float = 0.002
+) -> PathRtt:
+    """Derive one directed path's RTT model from its endpoint names.
+
+    Every draw comes from the per-path stream ``rtt/<src>/<dst>``, so a
+    path's model depends only on ``(seed, src, dst)`` — a sharded campaign
+    can rebuild any single path without materializing the whole matrix,
+    and :class:`RttMatrix` gets the exact same values eagerly.
+    """
+    rng = streams.stream(f"rtt/{src.hostname}/{dst.hostname}")
+    base = _BASE_RTT[frozenset((src.region, dst.region))]
+    # Per-path lognormal jitter around the region base: local
+    # pairs can be a couple of ms, long-haul can exceed 300 ms.
+    jitter = float(rng.lognormal(mean=0.0, sigma=0.35))
+    rtt = max(min_rtt, base * jitter)
+    return PathRtt(
+        src=src,
+        dst=dst,
+        base_rtt=rtt,
+        diurnal_amplitude=float(rng.uniform(0.0, 0.15)),
+        diurnal_phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+    )
+
+
 class RttMatrix:
     """All 650 directed paths with deterministic, seeded RTTs."""
 
@@ -107,18 +132,8 @@ class RttMatrix:
             for dst in SITES:
                 if src is dst:
                     continue
-                rng = streams.stream(f"rtt/{src.hostname}/{dst.hostname}")
-                base = _BASE_RTT[frozenset((src.region, dst.region))]
-                # Per-path lognormal jitter around the region base: local
-                # pairs can be a couple of ms, long-haul can exceed 300 ms.
-                jitter = float(rng.lognormal(mean=0.0, sigma=0.35))
-                rtt = max(self.min_rtt, base * jitter)
-                self._paths[(src.hostname, dst.hostname)] = PathRtt(
-                    src=src,
-                    dst=dst,
-                    base_rtt=rtt,
-                    diurnal_amplitude=float(rng.uniform(0.0, 0.15)),
-                    diurnal_phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+                self._paths[(src.hostname, dst.hostname)] = synthesize_path(
+                    streams, src, dst, min_rtt=self.min_rtt
                 )
 
     def path(self, src: Site | str, dst: Site | str) -> PathRtt:

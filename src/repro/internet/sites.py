@@ -12,7 +12,15 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["Region", "Site", "SITES", "sites", "n_directed_paths", "sites_by_region"]
+__all__ = [
+    "Region",
+    "Site",
+    "SITES",
+    "sites",
+    "n_directed_paths",
+    "sites_by_region",
+    "synthetic_sites",
+]
 
 
 class Region(enum.Enum):
@@ -83,3 +91,51 @@ def n_directed_paths() -> int:
 def sites_by_region(region: Region) -> list[Site]:
     """All sites located in the given region."""
     return [s for s in SITES if s.region == region]
+
+
+#: Region mix for synthetic sites beyond Table 1, in paper proportion
+#: (California-heavy US, then international) — cycled deterministically.
+_SYNTH_REGION_CYCLE: tuple[Region, ...] = (
+    Region.CALIFORNIA,
+    Region.US_EAST,
+    Region.EUROPE,
+    Region.US_CENTRAL,
+    Region.ASIA,
+    Region.US_EAST,
+    Region.CANADA,
+    Region.US_WEST,
+    Region.CALIFORNIA,
+    Region.SOUTH_AMERICA,
+    Region.US_EAST,
+    Region.MIDDLE_EAST,
+    Region.US_CENTRAL,
+)
+
+
+def synthetic_sites(n: int) -> tuple[Site, ...]:
+    """A deterministic registry of ``n`` measurement sites.
+
+    The first 26 are Table 1 verbatim; the rest are synthetic hosts
+    (``synth-0026.us-east.repro.net``, ...) with regions assigned from a
+    fixed cycle so every region keeps growing in roughly the paper's mix.
+    Purely positional — no RNG — so site ``k`` is identical regardless of
+    how many sites the campaign asks for, and a shard worker can rebuild
+    the registry from ``n`` alone.  This is what lets the 26-site paper
+    mesh scale to the ~1M directed paths the ROADMAP asks for
+    (``n=1000`` -> 999 000 paths) without a hand-written registry.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one site, got {n}")
+    if n <= len(SITES):
+        return SITES[:n]
+    extra = []
+    for k in range(len(SITES), n):
+        region = _SYNTH_REGION_CYCLE[k % len(_SYNTH_REGION_CYCLE)]
+        extra.append(
+            Site(
+                hostname=f"synth-{k:04d}.{region.value}.repro.net",
+                location=f"Synthetic site {k}",
+                region=region,
+            )
+        )
+    return SITES + tuple(extra)

@@ -1,0 +1,746 @@
+"""Crash-tolerant supervision of sharded campaigns.
+
+:mod:`repro.internet.shards` makes every shard a pure, re-runnable
+function of ``(seed, path range)``; this module runs those shards under a
+supervising parent that treats worker death as a normal input:
+
+* **Heartbeats** — each worker writes a tiny progress file
+  (``hb-<shard>.json``, atomic replace) as it walks its paths.  The
+  parent judges liveness on its *own* monotonic clock: a worker whose
+  progress has not advanced within ``hang_timeout`` is wedged and gets
+  SIGKILLed, whatever its clock claims.  A heartbeat whose wall-clock
+  stamp disagrees with the parent's by more than ``skew_tolerance`` is
+  flagged (``worker.clock_skew`` span event) but never trusted for
+  liveness decisions.
+* **Retry with backoff** — a dead or reaped worker's shard is
+  rescheduled under the :class:`~repro.faults.RetryPolicy` (deterministic
+  jitter, so two supervisors back off identically).  Shards that keep
+  failing are **quarantined** as poison: the campaign finishes DEGRADED
+  with an explicit manifest of the lost path ranges instead of hanging
+  forever or dying.
+* **Durable, resumable state** — completed shards land as atomic,
+  fingerprinted JSON records (``shard-<id>.json`` via
+  :func:`~repro.obs.metrics.atomic_write_text`) and are logged in a
+  JSON-lines :class:`~repro.faults.Checkpoint` ledger.  A killed
+  campaign re-run with ``resume=True`` verifies each record against its
+  ledger fingerprint, re-runs anything torn or missing, and produces a
+  result **byte-identical** to an uninterrupted run with the same seed.
+
+``workers=0`` runs shards in-process (serial) through the same retry /
+quarantine / ledger machinery — bit-identical results, no processes —
+which is what most tests use; process-level fault injection
+(:class:`~repro.faults.WorkerKill` / :class:`~repro.faults.WorkerHang`)
+is only realized by real worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.faults.checkpoint import Checkpoint
+from repro.faults.plan import FaultPlan, InjectedFault
+from repro.faults.resilient import RetryPolicy
+from repro.internet.probe import ProbeConfig
+from repro.internet.shards import (
+    GapHistogram,
+    ShardResult,
+    ShardSpec,
+    plan_shards,
+    reduce_shards,
+    run_shard,
+)
+from repro.obs.metrics import atomic_write_text
+
+__all__ = [
+    "SupervisorConfig",
+    "ShardedCampaignResult",
+    "CampaignSupervisor",
+    "run_sharded_campaign",
+    "SHARD_LEDGER",
+]
+
+#: Ledger file name inside the campaign state directory.
+SHARD_LEDGER = "shards.jsonl"
+
+#: Worker exit code for an *expected* failure (injected fault, probe
+#: error) — distinguishes "the experiment failed" from interpreter death.
+_EXIT_SHARD_ERROR = 3
+
+
+def _shard_path(state_dir: Path, shard_id: int) -> Path:
+    return state_dir / f"shard-{shard_id:05d}.json"
+
+
+def _heartbeat_path(state_dir: Path, shard_id: int) -> Path:
+    return state_dir / f"hb-{shard_id:05d}.json"
+
+
+def _error_path(state_dir: Path, shard_id: int) -> Path:
+    return state_dir / f"err-{shard_id:05d}.json"
+
+
+def _write_json_fast(path: Path, obj: dict) -> None:
+    """Atomic-replace JSON write without fsync — heartbeats are advisory
+    liveness signals, not durable state, so they skip the fsync cost."""
+    tmp = path.with_name(f".{path.name}.tmp")
+    tmp.write_text(json.dumps(obj, separators=(",", ":")))
+    tmp.replace(path)
+
+
+def _shard_worker_main(
+    spec_record: dict,
+    state_dir: str,
+    probe_config: Optional[ProbeConfig],
+    fault_plan: Optional[FaultPlan],
+    attempt: int,
+    heartbeat_interval: float,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Heartbeats progress to ``hb-<id>.json`` (throttled to
+    ``heartbeat_interval``), runs the shard with process-level faults
+    armed, and lands the result atomically in ``shard-<id>.json`` with
+    its fingerprint embedded.  Expected failures write ``err-<id>.json``
+    and exit ``3``; a SIGKILL (real or injected) leaves nothing, which is
+    exactly the point — the parent must cope.
+    """
+    spec = ShardSpec.from_record(spec_record)
+    sdir = Path(state_dir)
+    hb_path = _heartbeat_path(sdir, spec.shard_id)
+    skew = fault_plan.skew if fault_plan is not None else None
+    last_write = [float("-inf")]
+
+    def heartbeat(done: int) -> None:
+        now = time.monotonic()
+        if done > 0 and now - last_write[0] < heartbeat_interval:
+            return
+        last_write[0] = now
+        wall = time.time()
+        if skew is not None:
+            wall += skew.offset  # a skewed worker stamps a skewed clock
+        _write_json_fast(
+            hb_path,
+            {"shard_id": spec.shard_id, "done": done, "attempt": attempt,
+             "wall": wall},
+        )
+
+    heartbeat(0)
+    try:
+        result = run_shard(
+            spec,
+            probe_config=probe_config,
+            fault_plan=fault_plan,
+            heartbeat=heartbeat,
+            attempt=attempt,
+            allow_process_faults=True,
+        )
+    except (InjectedFault, Exception) as exc:  # noqa: BLE001 - relayed to parent
+        atomic_write_text(
+            _error_path(sdir, spec.shard_id),
+            json.dumps({
+                "shard_id": spec.shard_id,
+                "attempt": attempt,
+                "error": f"{type(exc).__name__}: {exc}",
+            }, sort_keys=True),
+        )
+        sys.exit(_EXIT_SHARD_ERROR)
+    record = result.to_record()
+    record["fingerprint"] = result.fingerprint()
+    atomic_write_text(
+        _shard_path(sdir, spec.shard_id), json.dumps(record, sort_keys=True)
+    )
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision policy knobs.
+
+    ``workers=0`` executes shards in-process (serial, deterministic, no
+    process faults); ``workers>=1`` fans out over that many concurrent
+    fork-context worker processes.  ``hang_timeout`` is measured on the
+    parent's monotonic clock since the last observed progress *advance*
+    (never from worker-reported timestamps).  ``skew_tolerance`` bounds
+    how far a heartbeat's wall clock may drift from the parent's before
+    the worker is flagged as clock-skewed.
+    """
+
+    workers: int = 2
+    hang_timeout: float = 30.0
+    heartbeat_interval: float = 0.05
+    poll_interval: float = 0.02
+    skew_tolerance: float = 300.0
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(retries=2, base=0.02, max_delay=0.5)
+    )
+
+    def __post_init__(self):
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.hang_timeout <= 0 or self.poll_interval <= 0:
+            raise ValueError("hang_timeout and poll_interval must be positive")
+        if self.heartbeat_interval < 0 or self.skew_tolerance <= 0:
+            raise ValueError("heartbeat_interval/skew_tolerance out of range")
+
+
+@dataclass
+class ShardedCampaignResult:
+    """Aggregated output of a supervised sharded campaign.
+
+    ``histogram`` is the streaming Figure 4 reducer merged over every
+    completed shard; ``fates`` maps shard id to its outcome record
+    (``status``, ``attempts``, ``error``) — the shard-fate table the
+    report renders.  ``quarantined`` lists the poison shards' specs: the
+    explicit manifest of what a DEGRADED campaign lost.
+    :meth:`fingerprint` covers measurement content and the quarantine
+    manifest, never attempts/timing/errors, so a killed-and-resumed
+    campaign fingerprints identically to an uninterrupted one.
+    """
+
+    histogram: GapHistogram
+    n_experiments: int
+    n_valid: int
+    n_rejected: int
+    fates: dict[int, dict] = field(default_factory=dict)
+    quarantined: list[ShardSpec] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard was quarantined (its paths are missing)."""
+        return bool(self.quarantined)
+
+    @property
+    def status(self) -> str:
+        return "DEGRADED" if self.degraded else "COMPLETE"
+
+    def lost_paths(self) -> int:
+        """Directed paths lost to quarantined shards."""
+        return sum(s.n_paths for s in self.quarantined)
+
+    def manifest(self) -> dict:
+        """JSON-able account of what the campaign measured and lost."""
+        return {
+            "status": self.status,
+            "n_experiments": self.n_experiments,
+            "n_valid": self.n_valid,
+            "n_rejected": self.n_rejected,
+            "n_shards_done": sum(
+                1 for f in self.fates.values() if f.get("status") == "done"
+            ),
+            "n_shards_quarantined": len(self.quarantined),
+            "lost_paths": self.lost_paths(),
+            "quarantined": [
+                {**s.to_record(),
+                 "error": self.fates.get(s.shard_id, {}).get("error", "")}
+                for s in sorted(self.quarantined, key=lambda s: s.shard_id)
+            ],
+        }
+
+    def to_interval_pdf(self):
+        """The campaign's Figure 4 distribution."""
+        return self.histogram.to_interval_pdf()
+
+    def fingerprint(self) -> str:
+        """SHA-256 over measurement content + quarantine manifest."""
+        import hashlib
+
+        payload = {
+            "histogram": self.histogram.to_record(),
+            "n_experiments": self.n_experiments,
+            "n_valid": self.n_valid,
+            "n_rejected": self.n_rejected,
+            "quarantined": [
+                s.to_record()
+                for s in sorted(self.quarantined, key=lambda s: s.shard_id)
+            ],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def summary(self) -> str:
+        """Human-readable campaign summary (the DEGRADED manifest)."""
+        lines = [
+            f"sharded campaign: {self.status}",
+            f"  paths probed      : {self.n_experiments}",
+            f"  validated pairs   : {self.n_valid}",
+            f"  rejected pairs    : {self.n_rejected}",
+            f"  shards done       : "
+            f"{sum(1 for f in self.fates.values() if f.get('status') == 'done')}",
+            f"  shards quarantined: {len(self.quarantined)}",
+        ]
+        if self.histogram.n:
+            lines += [
+                f"  loss gaps pooled  : {self.histogram.n}",
+                f"  mean gap          : {self.histogram.mean_interval:.4f} RTT",
+                f"  gaps < 0.01 RTT   : {self.histogram.fraction_within(0.01):.1%}",
+                f"  gaps < 1 RTT      : {self.histogram.fraction_within(1.0):.1%}",
+            ]
+        for s in sorted(self.quarantined, key=lambda s: s.shard_id):
+            err = self.fates.get(s.shard_id, {}).get("error", "")
+            lines.append(
+                f"  POISON shard {s.shard_id}: paths [{s.start}, {s.stop}) lost"
+                + (f" ({err})" if err else "")
+            )
+        lines.append(f"  fingerprint       : {self.fingerprint()}")
+        return "\n".join(lines)
+
+
+class _WorkerState:
+    """Parent-side view of one running shard worker."""
+
+    __slots__ = ("process", "spec", "attempt", "last_done", "last_advance",
+                 "skew_flagged", "reaped_for_hang")
+
+    def __init__(self, process, spec: ShardSpec, attempt: int):
+        self.process = process
+        self.spec = spec
+        self.attempt = attempt
+        self.last_done = -1
+        self.last_advance = time.monotonic()
+        self.skew_flagged = False
+        self.reaped_for_hang = False
+
+
+class CampaignSupervisor:
+    """Runs a sharded campaign to completion through kills and stalls.
+
+    The supervisor owns a state directory: the shard ledger
+    (``shards.jsonl``), one fingerprinted result file per completed
+    shard, and transient heartbeat files.  ``run(resume=True)`` picks up
+    any prior state in that directory; ``resume=False`` demands a fresh
+    directory (mixing two campaigns' state is an error, not a merge).
+    """
+
+    def __init__(
+        self,
+        n_sites: int,
+        n_shards: int,
+        state_dir: Union[str, Path],
+        seed: int = 2006,
+        n_paths: Optional[int] = None,
+        probe_config: Optional[ProbeConfig] = None,
+        config: Optional[SupervisorConfig] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        tracer=None,
+    ):
+        self.specs = plan_shards(n_sites, n_shards, seed=seed, n_paths=n_paths)
+        self.n_sites = int(n_sites)
+        self.n_shards = int(n_shards)
+        self.seed = int(seed)
+        self.total_paths = self.specs[-1].stop
+        self.state_dir = Path(state_dir)
+        self.probe_config = probe_config or ProbeConfig()
+        self.config = config or SupervisorConfig()
+        self.fault_plan = fault_plan
+        self.tracer = tracer
+
+    # -- tracing ---------------------------------------------------------
+    def _event(self, name: str, **attrs) -> None:
+        if self.tracer is not None:
+            self.tracer.event(name, **attrs)
+
+    # -- durable state ---------------------------------------------------
+    def _ledger(self) -> Checkpoint:
+        return Checkpoint(
+            self.state_dir / SHARD_LEDGER,
+            meta={
+                "kind": "sharded-campaign",
+                "seed": self.seed,
+                "n_sites": self.n_sites,
+                "n_paths": self.total_paths,
+                "n_shards": self.n_shards,
+                "duration": self.probe_config.duration,
+            },
+        )
+
+    def _load_shard_file(self, spec: ShardSpec, want_fp: str) -> Optional[ShardResult]:
+        """Re-read a completed shard's record, verifying identity and
+        fingerprint; any tear/mismatch means "re-run it", never "trust it"."""
+        path = _shard_path(self.state_dir, spec.shard_id)
+        try:
+            record = json.loads(path.read_text())
+            stored_fp = record.pop("fingerprint", None)
+            result = ShardResult.from_record(record)
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if result.spec != spec:
+            return None
+        fp = result.fingerprint()
+        if fp != want_fp or (stored_fp is not None and stored_fp != fp):
+            return None
+        return result
+
+    def _read_heartbeat(self, shard_id: int) -> Optional[dict]:
+        try:
+            return json.loads(
+                _heartbeat_path(self.state_dir, shard_id).read_text()
+            )
+        except (OSError, ValueError):
+            return None  # not written yet, or torn mid-replace
+
+    def _read_error(self, shard_id: int) -> str:
+        try:
+            return str(
+                json.loads(_error_path(self.state_dir, shard_id).read_text())
+                .get("error", "")
+            )
+        except (OSError, ValueError):
+            return ""
+
+    # -- the run ---------------------------------------------------------
+    def run(self, resume: bool = False) -> ShardedCampaignResult:
+        """Drive every shard to done-or-quarantined and reduce.
+
+        With ``resume=True``, shards whose ledger entry and result file
+        agree are loaded instead of re-run (quarantine decisions are
+        durable too); anything torn or missing is re-executed — the
+        reduced output is byte-identical either way.
+        """
+        ledger_path = self.state_dir / SHARD_LEDGER
+        if not resume and ledger_path.exists():
+            raise ValueError(
+                f"{self.state_dir} already holds campaign state; "
+                f"pass resume=True or use a fresh directory"
+            )
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+
+        ledger = self._ledger()
+        prior = ledger.load() if resume else {}
+
+        results: dict[int, ShardResult] = {}
+        fates: dict[int, dict] = {}
+        quarantined: dict[int, ShardSpec] = {}
+        pending: list[ShardSpec] = []
+        resumed = 0
+
+        for spec in self.specs:
+            rec = prior.get(spec.shard_id)
+            if rec and rec.get("status") == "done":
+                loaded = self._load_shard_file(spec, rec.get("fingerprint", ""))
+                if loaded is not None:
+                    results[spec.shard_id] = loaded
+                    fates[spec.shard_id] = dict(rec)
+                    resumed += 1
+                    continue
+                warnings.warn(
+                    f"shard {spec.shard_id}: result file torn or mismatched "
+                    f"on resume; re-running",
+                    stacklevel=2,
+                )
+                self._event("shard.resume_mismatch", shard=spec.shard_id)
+            elif rec and rec.get("status") == "quarantined":
+                quarantined[spec.shard_id] = spec
+                fates[spec.shard_id] = dict(rec)
+                resumed += 1
+                continue
+            pending.append(spec)
+
+        try:
+            if self.config.workers == 0:
+                self._run_serial(pending, ledger, results, fates, quarantined)
+            else:
+                self._run_processes(pending, ledger, results, fates, quarantined)
+        finally:
+            ledger.close()
+
+        merged, counters = reduce_shards(list(results.values()))
+        injected: dict[str, int] = {}
+        for res in results.values():
+            for kind, count in res.injected.items():
+                injected[kind] = injected.get(kind, 0) + int(count)
+        result = ShardedCampaignResult(
+            histogram=merged,
+            n_experiments=counters["n_experiments"],
+            n_valid=counters["n_valid"],
+            n_rejected=counters["n_rejected"],
+            fates=fates,
+            quarantined=sorted(quarantined.values(), key=lambda s: s.shard_id),
+            meta={
+                "seed": self.seed,
+                "n_sites": self.n_sites,
+                "n_paths": self.total_paths,
+                "n_shards": self.n_shards,
+                "workers": self.config.workers,
+                "resumed": resumed,
+                "retried": {
+                    sid: f["attempts"] for sid, f in sorted(fates.items())
+                    if f.get("attempts", 1) > 1
+                },
+                "injected": injected,
+                "fault_plan": (
+                    None if self.fault_plan is None
+                    else self.fault_plan.describe()
+                ),
+            },
+        )
+        self._event(
+            "campaign.reduced",
+            status=result.status,
+            shards_done=len(results),
+            shards_quarantined=len(quarantined),
+            lost_paths=result.lost_paths(),
+        )
+        return result
+
+    # -- outcome bookkeeping (shared by both executors) ------------------
+    def _shard_done(
+        self, spec: ShardSpec, result: ShardResult, attempt: int,
+        ledger: Checkpoint, results: dict, fates: dict,
+    ) -> None:
+        fp = result.fingerprint()
+        fate = {"status": "done", "attempts": attempt, "fingerprint": fp}
+        # Persist the fingerprinted record before the ledger references
+        # it — workers already wrote it (identical bytes), but the serial
+        # executor and the ledger's durability rule both rely on this.
+        record = result.to_record()
+        record["fingerprint"] = fp
+        atomic_write_text(
+            _shard_path(self.state_dir, spec.shard_id),
+            json.dumps(record, sort_keys=True),
+        )
+        ledger.append(spec.shard_id, fate)
+        results[spec.shard_id] = result
+        fates[spec.shard_id] = fate
+        self._event(
+            "shard.done", shard=spec.shard_id, attempts=attempt,
+            paths=spec.n_paths, valid=result.n_valid,
+        )
+
+    def _shard_failed(
+        self, spec: ShardSpec, attempt: int, error: str,
+        ledger: Checkpoint, fates: dict, quarantined: dict,
+    ) -> Optional[float]:
+        """Returns the backoff delay before the next attempt, or ``None``
+        when the shard is out of retries and has been quarantined."""
+        retry = self.config.retry
+        if attempt <= retry.retries:
+            delay = retry.delay(attempt, key=f"shard/{spec.shard_id}")
+            self._event(
+                "shard.retry", shard=spec.shard_id, attempt=attempt,
+                delay=round(delay, 4), error=error,
+            )
+            return delay
+        fate = {"status": "quarantined", "attempts": attempt, "error": error}
+        ledger.append(spec.shard_id, fate)
+        fates[spec.shard_id] = fate
+        quarantined[spec.shard_id] = spec
+        self._event(
+            "shard.quarantined", shard=spec.shard_id, attempts=attempt,
+            paths=spec.n_paths, error=error,
+        )
+        return None
+
+    # -- serial executor -------------------------------------------------
+    def _run_serial(
+        self, pending: list[ShardSpec], ledger: Checkpoint,
+        results: dict, fates: dict, quarantined: dict,
+    ) -> None:
+        """In-process execution: same retry/quarantine/ledger semantics,
+        no heartbeats or process faults (a self-SIGKILL in-process would
+        take the campaign down, so ``allow_process_faults`` stays off)."""
+        for spec in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = run_shard(
+                        spec,
+                        probe_config=self.probe_config,
+                        fault_plan=self.fault_plan,
+                        attempt=attempt,
+                        allow_process_faults=False,
+                    )
+                except Exception as exc:  # noqa: BLE001 - failure is data
+                    error = f"{type(exc).__name__}: {exc}"
+                    delay = self._shard_failed(
+                        spec, attempt, error, ledger, fates, quarantined
+                    )
+                    if delay is None:
+                        break
+                    time.sleep(delay)
+                    continue
+                self._shard_done(spec, result, attempt, ledger, results, fates)
+                break
+
+    # -- process executor ------------------------------------------------
+    def _spawn(self, ctx, spec: ShardSpec, attempt: int) -> _WorkerState:
+        # Stale heartbeats/errors from a previous attempt must not feed
+        # this one's liveness or error reporting.
+        for path in (_heartbeat_path(self.state_dir, spec.shard_id),
+                     _error_path(self.state_dir, spec.shard_id)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(
+                spec.to_record(), str(self.state_dir), self.probe_config,
+                self.fault_plan, attempt, self.config.heartbeat_interval,
+            ),
+            daemon=True,
+        )
+        proc.start()
+        self._event(
+            "worker.spawn", shard=spec.shard_id, attempt=attempt, pid=proc.pid
+        )
+        return _WorkerState(proc, spec, attempt)
+
+    def _poll_worker(self, state: _WorkerState) -> None:
+        """Fold the latest heartbeat into parent-side liveness state."""
+        hb = self._read_heartbeat(state.spec.shard_id)
+        if hb is None or int(hb.get("attempt", -1)) != state.attempt:
+            return
+        done = int(hb.get("done", -1))
+        if done > state.last_done:
+            state.last_done = done
+            state.last_advance = time.monotonic()
+        skew = abs(float(hb.get("wall", 0.0)) - time.time())
+        if skew > self.config.skew_tolerance and not state.skew_flagged:
+            state.skew_flagged = True
+            self._event(
+                "worker.clock_skew", shard=state.spec.shard_id,
+                skew_seconds=round(skew, 3),
+            )
+
+    def _run_processes(
+        self, pending: list[ShardSpec], ledger: Checkpoint,
+        results: dict, fates: dict, quarantined: dict,
+    ) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        queue: deque[tuple[ShardSpec, int]] = deque(
+            (spec, 1) for spec in pending
+        )
+        cooling: list[tuple[float, ShardSpec, int]] = []
+        running: dict[int, _WorkerState] = {}
+
+        try:
+            while queue or cooling or running:
+                now = time.monotonic()
+                for ready_at, spec, attempt in list(cooling):
+                    if now >= ready_at:
+                        cooling.remove((ready_at, spec, attempt))
+                        queue.append((spec, attempt))
+                while queue and len(running) < self.config.workers:
+                    spec, attempt = queue.popleft()
+                    running[spec.shard_id] = self._spawn(ctx, spec, attempt)
+
+                for sid, state in list(running.items()):
+                    self._poll_worker(state)
+                    proc = state.process
+                    if proc.is_alive():
+                        stalled = (
+                            time.monotonic() - state.last_advance
+                            > self.config.hang_timeout
+                        )
+                        if stalled:
+                            # Wedged: no observed progress on the parent's
+                            # clock.  SIGKILL — a hung worker can't be
+                            # trusted to honor anything gentler.
+                            state.reaped_for_hang = True
+                            self._event(
+                                "worker.hang", shard=sid,
+                                attempt=state.attempt,
+                                last_done=max(state.last_done, 0),
+                            )
+                            proc.kill()
+                            proc.join()
+                        else:
+                            continue
+                    else:
+                        proc.join()
+                    del running[sid]
+                    self._finish_worker(
+                        state, ledger, results, fates, quarantined, cooling
+                    )
+
+                if running or cooling:
+                    time.sleep(self.config.poll_interval)
+        finally:
+            for state in running.values():
+                state.process.kill()
+                state.process.join()
+
+    def _finish_worker(
+        self, state: _WorkerState, ledger: Checkpoint,
+        results: dict, fates: dict, quarantined: dict, cooling: list,
+    ) -> None:
+        spec, attempt = state.spec, state.attempt
+        exitcode = state.process.exitcode
+        result = None
+        if exitcode == 0:
+            # Trust nothing about the exit code: the result only counts if
+            # the fingerprinted record actually landed and verifies.
+            record = None
+            path = _shard_path(self.state_dir, spec.shard_id)
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                record = None
+            if record is not None:
+                want_fp = record.get("fingerprint", "")
+                result = self._load_shard_file(spec, want_fp)
+        if result is not None:
+            self._shard_done(spec, result, attempt, ledger, results, fates)
+            return
+
+        if state.reaped_for_hang:
+            error = "WorkerHang: no heartbeat progress, reaped by supervisor"
+        elif exitcode is not None and exitcode < 0:
+            error = f"WorkerDied: signal {signal.Signals(-exitcode).name}"
+            if -exitcode == signal.SIGKILL:
+                self._event(
+                    "worker.sigkill", shard=spec.shard_id, attempt=attempt
+                )
+        elif exitcode == _EXIT_SHARD_ERROR:
+            error = self._read_error(spec.shard_id) or "shard error"
+        elif exitcode == 0:
+            error = "WorkerDied: exited clean but left no valid result"
+        else:
+            error = f"WorkerDied: exit code {exitcode}"
+
+        delay = self._shard_failed(
+            spec, attempt, error, ledger, fates, quarantined
+        )
+        if delay is not None:
+            cooling.append((time.monotonic() + delay, spec, attempt + 1))
+
+
+def run_sharded_campaign(
+    n_sites: int,
+    n_shards: int,
+    state_dir: Union[str, Path],
+    seed: int = 2006,
+    n_paths: Optional[int] = None,
+    probe_config: Optional[ProbeConfig] = None,
+    workers: int = 0,
+    resume: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    tracer=None,
+    config: Optional[SupervisorConfig] = None,
+) -> ShardedCampaignResult:
+    """One-call sharded campaign (the CLI's ``campaign`` command core)."""
+    if config is None:
+        config = SupervisorConfig(workers=workers)
+    supervisor = CampaignSupervisor(
+        n_sites=n_sites,
+        n_shards=n_shards,
+        state_dir=state_dir,
+        seed=seed,
+        n_paths=n_paths,
+        probe_config=probe_config,
+        config=config,
+        fault_plan=fault_plan,
+        tracer=tracer,
+    )
+    return supervisor.run(resume=resume)

@@ -275,6 +275,7 @@ def _render_spans(spans: list[dict], out: list[str]) -> None:
     span_agg: dict[str, dict] = {}
     event_agg: dict[str, int] = {}
     fault_agg: dict[str, int] = {}
+    shard_fates: dict[int, dict] = {}
     for rec in spans:
         name = rec.get("name", "?")
         if rec.get("kind") == "span":
@@ -290,6 +291,18 @@ def _render_spans(spans: list[dict], out: list[str]) -> None:
                 amount = attrs.get("count", 1)
                 kind = name[len("fault."):]
                 fault_agg[kind] = fault_agg.get(kind, 0) + int(amount)
+            elif name in ("shard.done", "shard.retry", "shard.quarantined"):
+                # Supervisor shard-fate events (repro.internet.supervisor):
+                # the latest done/quarantined event per shard wins; retry
+                # events accumulate into the retries column.
+                attrs = rec.get("attrs") or {}
+                sid = int(attrs.get("shard", -1))
+                fate = shard_fates.setdefault(sid, {"retries": 0})
+                if name == "shard.retry":
+                    fate["retries"] += 1
+                else:
+                    fate["fate"] = name.split(".", 1)[1]
+                    fate["attempts"] = int(attrs.get("attempts", 1))
     out.append("| span | count | sim time (s) |")
     out.append("| --- | --- | --- |")
     for name in sorted(span_agg):
@@ -313,6 +326,29 @@ def _render_spans(spans: list[dict], out: list[str]) -> None:
         out.append("| --- | --- |")
         for kind in sorted(fault_agg):
             out.append(f"| `{kind}` | {fault_agg[kind]} |")
+        out.append("")
+    if shard_fates:
+        done = sum(
+            1 for f in shard_fates.values() if f.get("fate") == "done"
+        )
+        quarantined = sum(
+            1 for f in shard_fates.values() if f.get("fate") == "quarantined"
+        )
+        retried = sum(1 for f in shard_fates.values() if f["retries"] > 0)
+        out.append("### Shard fates")
+        out.append("")
+        out.append(
+            f"{done} done / {retried} retried / {quarantined} quarantined"
+        )
+        out.append("")
+        out.append("| shard | fate | attempts | retries |")
+        out.append("| --- | --- | --- | --- |")
+        for sid in sorted(shard_fates):
+            fate = shard_fates[sid]
+            out.append(
+                f"| {sid} | {fate.get('fate', 'pending')} "
+                f"| {fate.get('attempts', 1)} | {fate['retries']} |"
+            )
         out.append("")
 
 

@@ -1,6 +1,7 @@
 """Tests for JSON-lines checkpoints (write/load/resume semantics)."""
 
 import json
+import warnings
 
 import pytest
 
@@ -53,8 +54,48 @@ class TestCheckpointCorruption:
         path = self._write(tmp_path)
         raw = path.read_text()
         path.write_text(raw[: len(raw) - 8])  # rip the last record mid-line
-        loaded = Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
+        with pytest.warns(UserWarning, match="partial record"):
+            loaded = Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
         assert loaded.keys() == {0, 1}
+
+    def test_torn_tail_is_repaired_on_disk(self, tmp_path):
+        """load() must truncate the torn bytes away, not just skip them:
+        a second load sees a clean file and stops warning."""
+        path = self._write(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.warns(UserWarning, match="partial record"):
+            Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
+        assert path.read_bytes().endswith(b"\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            clean = Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
+        assert clean.keys() == {0, 1}
+
+    def test_append_after_torn_tail_does_not_weld_records(self, tmp_path):
+        """The poison-bytes case: a kill mid-append followed by a resume
+        that appends MORE records.  Without on-disk repair the new record
+        concatenates onto the torn bytes, corrupting the file for every
+        later resume."""
+        path = self._write(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])  # kill mid-append of record 2
+        ck = Checkpoint(path, meta={"kind": "t", "seed": 1})
+        with pytest.warns(UserWarning, match="partial record"):
+            ck.append(2, {"i": 2})  # the resumed run re-completes item 2
+        ck.close()
+        loaded = Checkpoint(path, meta={"kind": "t", "seed": 1}).load()
+        assert loaded == {0: {"i": 0}, 1: {"i": 1}, 2: {"i": 2}}
+
+    def test_file_with_only_a_torn_line_resets_to_empty(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"kind": "t", "ver')  # killed during the meta write
+        with pytest.warns(UserWarning, match="partial record"):
+            assert Checkpoint(path, meta={"kind": "t"}).load() == {}
+        # A fresh append starts the file over, meta line included.
+        with Checkpoint(path, meta={"kind": "t"}) as ck:
+            ck.append(0, {})
+        assert Checkpoint(path, meta={"kind": "t"}).load().keys() == {0}
 
     def test_midfile_corruption_raises(self, tmp_path):
         path = self._write(tmp_path)
