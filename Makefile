@@ -65,6 +65,7 @@ bench:
 bench-smoke:
 	rm -rf runs/bench-smoke
 	PYTHONPATH=src $(PYTHON) -m repro bench runs/bench-smoke --smoke
+	PYTHONPATH=src $(PYTHON) -m repro bench . --check-regression
 
 # pytest-benchmark micro lane (multi-round statistical measurements).
 bench-micro:

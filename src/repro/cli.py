@@ -214,6 +214,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with the 'bench' command: tiny pinned run that validates "
         "the BENCH_*.json schema and telemetry overhead only",
     )
+    p.add_argument(
+        "--check-regression",
+        action="store_true",
+        help="with the 'bench' command: compare the two most recent "
+        "BENCH_<n>.json files instead of running the suite; fail if any "
+        "stage's speedup fell below the regression floor",
+    )
     p.add_argument("--seed", type=int, default=1, help="experiment seed (default 1)")
     p.add_argument(
         "--scale",
@@ -469,6 +476,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         bench_argv = [args.target] if args.target else []
         if args.smoke:
             bench_argv.append("--smoke")
+        if args.check_regression:
+            bench_argv.append("--check-regression")
         return bench_main(bench_argv)
 
     if args.experiment == "list":

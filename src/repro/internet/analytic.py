@@ -1,0 +1,448 @@
+"""Analytic CBR probe fast path for the campaign inner loop.
+
+:func:`~repro.internet.probe.run_probe` is already vectorized, but the
+campaign pays for far more than the mask math: per path it constructs
+three ``SeedSequence``/``Generator`` stacks, a ``PathRtt``, a
+``PathLossModel``, two fresh jitter/uniform arrays, two ``ProbeRun``
+objects, and extracts loss timestamps even for the ~3/4 of paths the
+48 B/400 B validation will reject.  This module collapses all of that
+into a fused kernel built on the observation the ISSUE borrows from
+Lautenschlaeger's deterministic model: a CBR probe's send schedule is
+*arithmetic*, so everything downstream of it can be computed
+arithmetically too, and deferred until someone actually needs it.
+
+Bit-exactness is the contract — the fast path must be indistinguishable
+from the event-free reference (``run_probe``) and, transitively, from
+the event-driven :class:`~repro.internet.simpath.LossyLink` simulation
+(see ``tests/internet/test_analytic.py``).  Every transformation below
+preserves the exact float and RNG-stream semantics of the code it
+replaces:
+
+* stream states come from :class:`~repro.sim.rng.FastStreams`
+  (bit-identical to ``RngStreams`` by construction, pinned by fuzz
+  tests), batch-derived per chunk of paths;
+* scalar ``rng.uniform(lo, hi)`` draws become ``lo + (hi-lo) *
+  rng.random()`` — the exact expression the Generator computes
+  internally, fuzz-pinned bit-identical;
+* the jittered send grid ``base + c*(r-0.5)`` is built *in place* in the
+  jitter-draw buffer (ufunc-for-ufunc the same roundings), and the
+  ``maximum.accumulate`` re-sort is skipped when ``jitter < 1``
+  guarantees monotonicity (only index 0 can clamp to zero);
+* the episode mask is applied per episode window via ``searchsorted``
+  slices — the same mask as ``lost_mask``'s last-start-wins indexing,
+  including overlapping and duplicate episode starts;
+* zero-size RNG requests (``uniform``/``exponential`` with ``size=0``)
+  consume no generator state, so the episode-free common case skips them
+  — and skips building the send grid entirely, because a probe run with
+  no episodes needs only ``u < random_loss_prob``.
+
+Loss *timestamps* are only materialized for paths that pass validation
+(the shard reducer needs nothing else); the campaign worker, which
+returns full :class:`~repro.internet.probe.ProbeRun` records, asks for
+them explicitly.
+
+Set ``REPRO_ANALYTIC_PROBE=0`` to route everything through the legacy
+per-path object path; fault-injected runs (mask hooks, skew) always do.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.internet.paths import _BASE_RTT
+from repro.internet.probe import PROBE_SIZES, ProbeConfig, ProbeRun, validate_pair
+from repro.sim.rng import FastStreams
+
+__all__ = [
+    "ProbeKernel",
+    "analytic_probe_enabled",
+    "run_experiment_fast",
+    "run_shard_fast",
+]
+
+#: Stream-state batch size (paths per chunk): big enough to amortize the
+#: vectorized SeedSequence mixing, small enough that per-shard memory
+#: stays constant (the supervisor's tracemalloc invariant).
+_CHUNK = 512
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+# sample_path_loss_model's calibrated defaults and validate_pair's
+# acceptance thresholds, inlined for the hot loop (pinned against the
+# functions' signatures in tests/internet/test_analytic.py so they
+# cannot drift silently).
+_EPISODE_RATE_MEAN = 0.3
+_DROP_P_LO, _DROP_P_RANGE = 0.6, 0.95 - 0.6
+_RAND_P_LOG_LO = np.log(3e-5)
+_RAND_P_LOG_RANGE = np.log(4e-4) - np.log(3e-5)
+_DURATION_RTT_FRACTION = 0.025
+_DURATION_FLOOR = 2.5e-3
+_MIN_LOSSES = 10
+_REL_TOLERANCE = 0.5
+
+_TWO_PI = 2.0 * np.pi
+
+# (region, region) -> base RTT, both orders: the tuple lookup replaces
+# synthesize_path's per-path frozenset allocation.
+_BASE_RTT_PAIR = {}
+for _fs, _v in _BASE_RTT.items():
+    _a, _b = tuple(_fs) if len(_fs) == 2 else (next(iter(_fs)),) * 2
+    _BASE_RTT_PAIR[(_a, _b)] = _v
+    _BASE_RTT_PAIR[(_b, _a)] = _v
+
+
+def analytic_probe_enabled() -> bool:
+    """The ``REPRO_ANALYTIC_PROBE`` knob (default on)."""
+    return os.environ.get("REPRO_ANALYTIC_PROBE", "1") != "0"
+
+
+class _Counts:
+    """Loss-count view of a probe run, shaped for ``validate_pair``.
+
+    The acceptance rule reads only sizes and counts, so the fast path can
+    run it without materializing loss timestamps.
+    """
+
+    __slots__ = ("packet_size", "n_sent", "n_lost")
+
+    def __init__(self, packet_size: int, n_sent: int, n_lost: int):
+        self.packet_size = packet_size
+        self.n_sent = n_sent
+        self.n_lost = n_lost
+
+    @property
+    def loss_rate(self) -> float:
+        return self.n_lost / self.n_sent if self.n_sent else float("nan")
+
+
+class ProbeKernel:
+    """Fused 48 B/400 B probe-pair evaluation against one path's weather.
+
+    Holds preallocated per-run buffers (jitter + loss-uniform draws in
+    one block per run, masks) sized for one :class:`ProbeConfig`, so a
+    shard's whole path loop allocates nothing per path on the common
+    no-loss-extracted route.  Single-threaded by design — one kernel per
+    worker.
+    """
+
+    def __init__(self, config: Optional[ProbeConfig] = None):
+        cfg = config or ProbeConfig()
+        self.cfg = cfg
+        self.n = n = int(cfg.duration / cfg.interval)
+        self.interval = cfg.interval
+        self.jitter = cfg.jitter
+        #: jitter amplitude: times = base + c * (r - 0.5)
+        self._c = cfg.interval * cfg.jitter
+        #: the unjittered arithmetic send grid
+        self.base = np.arange(n) * cfg.interval
+        # With jitter < 1 the jittered grid is strictly increasing (gap
+        # >= interval*(1-jitter) minus float noise ~ eps*duration), so
+        # run_probe's maximum.accumulate is the identity except that
+        # index 0 may clamp to zero.  The margin check keeps the skip
+        # honest for extreme configs; callers fall back to run_probe
+        # when it fails.
+        self.monotone = cfg.jitter == 0.0 or (
+            cfg.interval * (1.0 - cfg.jitter) > cfg.duration * 4e-16
+        )
+        # One 2n block per run: the jitter draws land in [:n], the loss
+        # uniforms in [n:], exactly the stream order of run_probe's two
+        # separate requests.
+        self._block = [np.empty(2 * n), np.empty(2 * n)]
+        self._r = [b[:n] for b in self._block]
+        self._u = [b[n:] for b in self._block]
+        self._lost = [np.empty(n, dtype=bool), np.empty(n, dtype=bool)]
+        self._times: list[Optional[np.ndarray]] = [None, None]
+        self.counts = [0, 0]
+
+    # ------------------------------------------------------------------
+    def _run_one(self, slot: int, rng: np.random.Generator,
+                 starts: np.ndarray, durations: np.ndarray,
+                 drop_p: float, rand_p: float) -> int:
+        u = self._u[slot]
+        lost = self._lost[slot]
+        n_ep = len(starts)
+        if n_ep == 0:
+            # No weather: the mask is one compare, and the send grid is
+            # never needed unless this path validates.
+            if self.jitter > 0.0:
+                rng.random(out=self._block[slot])
+            else:
+                rng.random(out=u)
+            np.less(u, rand_p, out=lost)
+            self._times[slot] = None
+        else:
+            if self.jitter > 0.0:
+                rng.random(out=self._block[slot])
+            else:
+                rng.random(out=u)
+            times = self._build_times(slot)
+            np.less(u, rand_p, out=lost)
+            ss = times.searchsorted
+            for j in range(n_ep):
+                s = starts[j]
+                e = s + durations[j]
+                if j + 1 < n_ep and starts[j + 1] < e:
+                    # lost_mask indexes by *last* start <= t, so an
+                    # episode's effective window is clipped by its
+                    # successor's start.
+                    e = starts[j + 1]
+                a = ss(s)
+                b = ss(e)
+                if b > a:
+                    np.less(u[a:b], drop_p, out=lost[a:b])
+        count = int(np.count_nonzero(lost))
+        self.counts[slot] = count
+        return count
+
+    def _build_times(self, slot: int) -> np.ndarray:
+        """Realize the (jittered) send grid for ``slot``, in place."""
+        if self.jitter == 0.0:
+            times = self.base
+        else:
+            times = self._r[slot]  # holds the raw jitter draws
+            np.subtract(times, 0.5, out=times)
+            np.multiply(times, self._c, out=times)
+            np.add(times, self.base, out=times)
+            if self.n and times[0] < 0.0:
+                times[0] = 0.0
+        self._times[slot] = times
+        return times
+
+    def run_pair(self, rng: np.random.Generator,
+                 episodes: tuple[np.ndarray, np.ndarray],
+                 drop_p: float, rand_p: float) -> tuple[int, int]:
+        """Evaluate both probe runs (48 B then 400 B) of one experiment.
+
+        Consumes ``rng`` exactly as two back-to-back ``run_probe`` calls
+        would; returns the two loss counts.
+        """
+        starts, durations = episodes
+        return (
+            self._run_one(0, rng, starts, durations, drop_p, rand_p),
+            self._run_one(1, rng, starts, durations, drop_p, rand_p),
+        )
+
+    def validate(self) -> bool:
+        """The paper's 48 B/400 B acceptance rule on the latest pair."""
+        return validate_pair(
+            _Counts(PROBE_SIZES[0], self.n, self.counts[0]),
+            _Counts(PROBE_SIZES[1], self.n, self.counts[1]),
+        )
+
+    def loss_times(self, slot: int) -> np.ndarray:
+        """Send timestamps of the probes lost in run ``slot`` (0=48 B)."""
+        times = self._times[slot]
+        if times is None:
+            times = self._build_times(slot)
+        return times[self._lost[slot]]
+
+
+def sample_model_params(rng: np.random.Generator, base_rtt: float) -> tuple[float, float, float, float]:
+    """``sample_path_loss_model``'s draws, without the object: returns
+    ``(episode_rate, episode_mean_duration, episode_drop_prob,
+    random_loss_prob)`` consuming ``rng`` identically."""
+    rate = float(_EPISODE_RATE_MEAN * rng.lognormal(mean=0.0, sigma=0.8))
+    drop_p = _DROP_P_LO + _DROP_P_RANGE * rng.random()
+    rand_p = float(np.exp(_RAND_P_LOG_LO + _RAND_P_LOG_RANGE * rng.random()))
+    mean_dur = max(_DURATION_FLOOR, _DURATION_RTT_FRACTION * base_rtt)
+    return rate, mean_dur, drop_p, rand_p
+
+
+def sample_episodes_fast(rng: np.random.Generator, rate: float,
+                         mean_duration: float, horizon: float) -> tuple[np.ndarray, np.ndarray]:
+    """``PathLossModel.sample_episodes`` minus the zero-size draws.
+
+    ``Generator.uniform``/``exponential`` with ``size=0`` consume no
+    state, so the episode-free case can skip them (and the sort)
+    entirely while staying on the same stream positions.
+    """
+    n = int(rng.poisson(rate * horizon))
+    if n == 0:
+        return _EMPTY, _EMPTY
+    starts = rng.uniform(0.0, horizon, size=n)
+    if n > 1:
+        starts = np.sort(starts)
+    durations = rng.exponential(mean_duration, size=n)
+    return starts, durations
+
+
+def _rtt_at(base_rtt: float, amplitude: float, phase: float, t: float) -> float:
+    """``PathRtt.rtt_at`` on bare floats (same numpy scalar roundings)."""
+    swing = 1.0 + amplitude * np.sin(_TWO_PI * t / 86_400.0 + phase)
+    return base_rtt * float(swing)
+
+
+# Per-worker caches: the supervisor runs many shards of the same
+# campaign per process, and the bench runs several back to back — the
+# mesh, the kernel buffers, and the stream deriver are all reusable.
+# One entry each (replaced on a key change): bounded memory by design.
+_MESH_CACHE: dict = {}
+_KERNEL_CACHE: dict = {}
+_STREAMS_CACHE: dict = {}
+
+
+def _cached(cache: dict, key, build):
+    hit = cache.get(key)
+    if hit is None:
+        cache.clear()
+        hit = cache[key] = build()
+    return hit
+
+
+def run_experiment_fast(seed: int, cfg: ProbeConfig, path, index: int,
+                        started_at: float):
+    """Fault-free campaign experiment on the fused kernel.
+
+    The analytic twin of ``campaign._experiment_worker``'s measurement
+    half: same ``loss/<src>/<dst>`` and ``exp/<index>`` streams, same
+    draws, same floats — but one reseeded generator, preallocated
+    buffers, and no intermediate model object.  Unlike the shard path
+    it always materializes both runs' loss timestamps, because the
+    campaign record keeps them for invalid pairs too.
+
+    Returns ``(small, large, valid)`` with real :class:`ProbeRun`
+    objects, or ``None`` when the config defeats the kernel's
+    monotone-jitter shortcut (callers fall back to the object path).
+    """
+    kernel = _cached(
+        _KERNEL_CACHE, (cfg.interval, cfg.duration, cfg.jitter),
+        lambda: ProbeKernel(cfg),
+    )
+    if not kernel.monotone:  # pragma: no cover - extreme-jitter configs
+        return None
+    fs = _cached(_STREAMS_CACHE, seed, lambda: FastStreams(seed))
+
+    rng = fs.stream(f"loss/{path.src.hostname}/{path.dst.hostname}")
+    rate, mean_dur, drop_p, rand_p = sample_model_params(rng, path.base_rtt)
+    rng = fs.stream(f"exp/{index}")
+    episodes = sample_episodes_fast(rng, rate, mean_dur, cfg.duration * 1.01)
+    kernel.run_pair(rng, episodes, drop_p, rand_p)
+    rtt_now = path.rtt_at(started_at)
+    small = ProbeRun(
+        path=path, packet_size=PROBE_SIZES[0], n_sent=kernel.n,
+        loss_times=kernel.loss_times(0), rtt=rtt_now,
+    )
+    large = ProbeRun(
+        path=path, packet_size=PROBE_SIZES[1], n_sent=kernel.n,
+        loss_times=kernel.loss_times(1), rtt=rtt_now,
+    )
+    return small, large, validate_pair(small, large)
+
+
+def run_shard_fast(spec, probe_config: Optional[ProbeConfig] = None,
+                   heartbeat: Optional[Callable[[int], None]] = None):
+    """Fault-free ``run_shard``, fused: one kernel, chunk-batched stream
+    derivation, loss timestamps only for validated paths.
+
+    Bit-identical to the legacy loop (same streams, same draws, same
+    floats), it just never builds the per-path ``RngStreams``/``PathRtt``
+    /``PathLossModel``/``ProbeRun`` object stack.
+    """
+    from repro.internet.shards import (
+        CAMPAIGN_SPAN_SECONDS, GapHistogram, ShardResult, SyntheticMesh,
+    )
+    from repro.core.intervals import intervals_from_trace
+
+    cfg = probe_config or ProbeConfig()
+    kernel = _cached(
+        _KERNEL_CACHE, (cfg.interval, cfg.duration, cfg.jitter),
+        lambda: ProbeKernel(cfg),
+    )
+    if not kernel.monotone:  # pragma: no cover - extreme-jitter configs
+        from repro.internet.shards import run_shard
+        return run_shard(spec, probe_config=cfg, heartbeat=heartbeat)
+
+    mesh = _cached(
+        _MESH_CACHE, (spec.n_sites, spec.seed),
+        lambda: SyntheticMesh(spec.n_sites, seed=spec.seed),
+    )
+    sites = mesh.sites
+    hostnames = [s.hostname for s in sites]
+    regions = [s.region for s in sites]
+    min_rtt = mesh.min_rtt
+    n_paths_total = mesh.n_paths
+    n_dst = len(sites) - 1
+    horizon = cfg.duration * 1.01
+    fs = _cached(_STREAMS_CACHE, spec.seed, lambda: FastStreams(spec.seed))
+    hist = GapHistogram()
+    fold = hist.fold
+    n_valid = 0
+    n_rejected = 0
+    n = kernel.n
+    run_one = kernel._run_one
+    use = fs.use128
+
+    done = 0
+    for chunk_start in range(spec.start, spec.stop, _CHUNK):
+        chunk = range(chunk_start, min(chunk_start + _CHUNK, spec.stop))
+        pairs = []
+        names = []
+        for k in chunk:
+            i, r = divmod(k, n_dst)  # SyntheticMesh.pair_of, inlined
+            j = r if r < i else r + 1
+            pairs.append((i, j))
+            src, dst = hostnames[i], hostnames[j]
+            names.append(f"rtt/{src}/{dst}")
+            names.append(f"loss/{src}/{dst}")
+            names.append(f"shard-exp/{k}")
+        words = fs.states128_for(names)
+
+        for ci, k in enumerate(chunk):
+            i, j = pairs[ci]
+
+            # synthesize_path's draws (rtt/<src>/<dst> stream)
+            rng = use(words, 3 * ci)
+            base = _BASE_RTT_PAIR[(regions[i], regions[j])]
+            jit = float(rng.lognormal(mean=0.0, sigma=0.35))
+            base_rtt = max(min_rtt, base * jit)
+            amplitude = 0.15 * rng.random()
+            phase = _TWO_PI * rng.random()
+
+            # sample_path_loss_model's draws (loss/<src>/<dst> stream)
+            rng = use(words, 3 * ci + 1)
+            rate, mean_dur, drop_p, rand_p = sample_model_params(rng, base_rtt)
+
+            # the experiment stream: episodes, then both probe runs
+            rng = use(words, 3 * ci + 2)
+            starts, durations = sample_episodes_fast(rng, rate, mean_dur, horizon)
+            c_small = run_one(0, rng, starts, durations, drop_p, rand_p)
+
+            # validate_pair, inlined (thresholds pinned by tests).  When
+            # the 48 B run already fails the min-losses bar the pair is
+            # rejected whatever the 400 B run counts, and since the
+            # shard-exp stream is single-use, its draws can be skipped
+            # outright — the common case at short probe durations.
+            if c_small >= _MIN_LOSSES:
+                c_large = run_one(1, rng, starts, durations, drop_p, rand_p)
+                if c_large >= _MIN_LOSSES:
+                    a = c_small / n
+                    b = c_large / n
+                    mean = 0.5 * (a + b)
+                    valid = mean != 0 and abs(a - b) / mean <= _REL_TOLERANCE
+                else:
+                    valid = False
+            else:
+                valid = False
+            if valid:
+                n_valid += 1
+                started_at = CAMPAIGN_SPAN_SECONDS * ((k + 0.5) / n_paths_total)
+                rtt_now = _rtt_at(base_rtt, amplitude, phase, started_at)
+                fold(intervals_from_trace(kernel.loss_times(0), rtt_now))
+                fold(intervals_from_trace(kernel.loss_times(1), rtt_now))
+            else:
+                n_rejected += 1
+            done += 1
+            if heartbeat is not None:
+                heartbeat(done)
+
+    return ShardResult(
+        spec=spec,
+        histogram=hist,
+        n_experiments=spec.n_paths,
+        n_valid=n_valid,
+        n_rejected=n_rejected,
+        injected={},
+    )

@@ -36,6 +36,7 @@ import numpy as np
 from repro.faults.checkpoint import Checkpoint
 from repro.faults.plan import FaultPlan
 from repro.faults.resilient import Result, RetryPolicy
+from repro.internet.analytic import analytic_probe_enabled, run_experiment_fast
 from repro.internet.pathmodel import PathLossModel, sample_path_loss_model
 from repro.internet.paths import PathRtt, RttMatrix
 from repro.internet.probe import PROBE_SIZES, ProbeConfig, ProbeRun, run_probe, validate_pair
@@ -199,6 +200,15 @@ def _experiment_worker(job: tuple, attempt: int = 1) -> dict:
     seed, cfg, path, index, started_at, plan = job
     if plan is not None:
         plan.crash_check(index, attempt)
+    elif analytic_probe_enabled():
+        fast = run_experiment_fast(seed, cfg, path, index, started_at)
+        if fast is not None:
+            small, large, valid = fast
+            exp = Experiment(
+                path=path, small=small, large=large,
+                valid=valid, started_at=started_at,
+            )
+            return _experiment_to_record(exp, index)
     streams = RngStreams(seed)
     model = sample_path_loss_model(path, streams)
     rng = streams.stream(f"exp/{index}")

@@ -39,6 +39,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.core.pdf import DEFAULT_BIN, DEFAULT_MAX, IntervalPdf
+from repro.internet.analytic import analytic_probe_enabled, run_shard_fast
 from repro.internet.pathmodel import sample_path_loss_model
 from repro.internet.paths import PathRtt, synthesize_path
 from repro.internet.probe import PROBE_SIZES, ProbeConfig, run_probe, validate_pair
@@ -417,6 +418,14 @@ def run_shard(
     only when ``allow_process_faults`` is set by a process-isolated
     worker — the worker-level SIGKILL/hang faults.
     """
+    if fault_plan is None:
+        if analytic_probe_enabled():
+            # The fused analytic kernel: bit-identical (same streams,
+            # same draws, same floats — see tests/internet/test_analytic.py),
+            # ~5x the paths/sec.  Fault-injected shards need the per-path
+            # mask/skew seams below, so they stay on the object path.
+            return run_shard_fast(spec, probe_config=probe_config,
+                                  heartbeat=heartbeat)
     cfg = probe_config or ProbeConfig()
     mesh = SyntheticMesh(spec.n_sites, seed=spec.seed)
     hist = GapHistogram()

@@ -29,10 +29,14 @@ __all__ = ["LossyLink", "build_sim_path"]
 class LossyLink(Link):
     """Link that drops packets per a :class:`PathLossModel`'s weather.
 
-    Episodes are pre-sampled over ``horizon`` seconds; a packet offered
-    while inside an episode window is dropped with the model's episode
-    drop probability, otherwise with its thin random-loss probability.
-    Surviving packets go through normal link service (rate + delay).
+    Episodes are pre-sampled over ``horizon`` seconds and the schedule is
+    extended lazily, one horizon at a time, whenever traffic reaches the
+    covered range — a packet offered at t=601 s sees real weather, not
+    the silent episode-free void a fixed pre-sample would leave past its
+    end.  A packet offered while inside an episode window is dropped with
+    the model's episode drop probability, otherwise with its thin random
+    loss probability.  Surviving packets go through normal link service
+    (rate + delay).
     """
 
     def __init__(
@@ -53,7 +57,17 @@ class LossyLink(Link):
         self.rng = rng
         self.horizon = float(horizon)
         self._starts, self._durations = model.sample_episodes(horizon, rng)
+        self._covered = self.horizon
         self.model_drops = 0
+
+    def _extend_weather(self, until: float) -> None:
+        """Sample further ``horizon``-sized slabs of episode weather so
+        the schedule covers at least ``until``."""
+        while self._covered <= until:
+            starts, durations = self.model.sample_episodes(self.horizon, self.rng)
+            self._starts = np.concatenate([self._starts, starts + self._covered])
+            self._durations = np.concatenate([self._durations, durations])
+            self._covered += self.horizon
 
     def _in_episode(self, now: float) -> bool:
         if len(self._starts) == 0:
@@ -66,6 +80,8 @@ class LossyLink(Link):
     def send(self, pkt: Packet):
         """Offer a packet to this component for forwarding."""
         now = self.sim.now
+        if now >= self._covered:
+            self._extend_weather(now)
         p = (
             self.model.episode_drop_prob
             if self._in_episode(now)

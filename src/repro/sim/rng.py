@@ -18,7 +18,7 @@ import zlib
 
 import numpy as np
 
-__all__ = ["RngStreams", "stable_hash"]
+__all__ = ["FastStreams", "RngStreams", "stable_hash"]
 
 
 def stable_hash(name: str) -> int:
@@ -68,3 +68,233 @@ class RngStreams:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RngStreams(seed={self.seed}, streams={sorted(self._streams)})"
+
+
+# ----------------------------------------------------------------------
+# Fast stream derivation
+# ----------------------------------------------------------------------
+# ``RngStreams.stream`` pays ~14 us per cold stream: SeedSequence's
+# entropy-pool mixing plus PCG64/Generator construction, all in Python
+# objects.  A campaign shard derives three single-use streams per path,
+# so at paper scale the derivation alone rivals the probe math.
+# ``FastStreams`` computes the *same* generator states — bit-identical to
+# ``default_rng(SeedSequence((seed, stable_hash(name))))`` — three ways
+# cheaper:
+#
+# * the SeedSequence entropy-pool hash is reimplemented directly (it is a
+#   fixed 32-bit LCG-hash/mix network, ~30 integer ops per stream) and
+#   vectorized with NumPy across a whole batch of stream names at once;
+# * PCG64's ``srandom`` seeding is two 128-bit multiply-adds on Python
+#   ints;
+# * one ``PCG64``/``Generator`` pair is allocated per FastStreams and
+#   *reseeded* in place through ``bit_generator.state`` for each stream,
+#   instead of constructing fresh objects.
+#
+# The constants below are SeedSequence's published hash parameters
+# (numpy/random/bit_generator.pyx); equivalence is pinned by fuzz tests
+# against SeedSequence itself in tests/internet/test_analytic.py.
+
+_M32 = 0xFFFFFFFF
+_INIT_A, _MULT_A = 0x43B0D7E5, 0x931E8875
+_INIT_B, _MULT_B = 0x8B51F9DD, 0x58F38DED
+_MIX_L, _MIX_R = 0xCA01F9DD, 0x4973F715
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_M128 = (1 << 128) - 1
+
+
+def _seed_words(seed: int) -> list[int]:
+    """SeedSequence's entropy assembly: an int becomes little-endian
+    32-bit words (zero contributes a single zero word)."""
+    if seed == 0:
+        return [0]
+    words = []
+    while seed:
+        words.append(seed & _M32)
+        seed >>= 32
+    return words
+
+
+def _seedseq_states_batch(seed: int, crcs: np.ndarray) -> np.ndarray:
+    """SeedSequence pool mixing, vectorized over many stream hashes.
+
+    Equivalent to ``SeedSequence((seed, crc)).generate_state(4, uint64)``
+    for every crc: returns an ``8 x n`` uint64 array of 32-bit output
+    words (pair ``2i, 2i+1`` little-endian into the i-th 64-bit word).
+    All lanes share the scalar ``seed`` words and differ in the final crc
+    entropy word, so the whole batch is a handful of array ops.
+    """
+    crcs = np.ascontiguousarray(crcs, dtype=np.uint64)
+    n = len(crcs)
+    ent = [np.full(n, w, dtype=np.uint64) for w in _seed_words(seed)] + [crcs]
+    hc = np.full(n, _INIT_A, dtype=np.uint64)
+    zeros = None
+
+    def hashmix(v):
+        v = v ^ hc
+        hc[:] = (hc * _MULT_A) & _M32
+        v = (v * hc) & _M32
+        return v ^ (v >> np.uint64(16))
+
+    def mix(x, y):
+        r = ((x * _MIX_L) - (y * _MIX_R)) & _M32
+        return r ^ (r >> np.uint64(16))
+
+    pool = []
+    for i in range(4):
+        if i < len(ent):
+            pool.append(hashmix(ent[i]))
+        else:
+            if zeros is None:
+                zeros = np.zeros(n, dtype=np.uint64)
+            pool.append(hashmix(zeros))
+    for s in range(4):
+        for d in range(4):
+            if s != d:
+                pool[d] = mix(pool[d], hashmix(pool[s]))
+    for s in range(4, len(ent)):
+        for d in range(4):
+            pool[d] = mix(pool[d], hashmix(ent[s]))
+
+    out = np.empty((8, n), dtype=np.uint64)
+    hc2 = _INIT_B
+    for i in range(8):
+        v = pool[i % 4] ^ np.uint64(hc2)
+        hc2 = (hc2 * _MULT_B) & _M32
+        v = (v * np.uint64(hc2)) & _M32
+        out[i] = v ^ (v >> np.uint64(16))
+    return out
+
+
+def _pcg64_state(w0: int, w1: int, w2: int, w3: int) -> tuple[int, int]:
+    """PCG64 ``srandom`` seeding from four 64-bit seed words: the
+    (state, inc) pair ``PCG64(seed_seq)`` would hold after construction."""
+    initstate = (w0 << 64) | w1
+    inc = ((((w2 << 64) | w3) << 1) | 1) & _M128
+    st = (inc + initstate) & _M128
+    st = (st * _PCG_MULT + inc) & _M128
+    return st, inc
+
+
+_LO32 = np.uint64(0xFFFFFFFF)
+_S32 = np.uint64(32)
+_S63 = np.uint64(63)
+_ONE = np.uint64(1)
+_PCG_MULT_HI = np.uint64(_PCG_MULT >> 64)
+_PCG_MULT_LO = np.uint64(_PCG_MULT & 0xFFFFFFFFFFFFFFFF)
+
+
+def _mulhi64(a: np.ndarray, b) -> np.ndarray:
+    """High 64 bits of a 64x64 multiply, via 32-bit partial products
+    (numpy has no 128-bit integer dtype; uint64 arithmetic wraps)."""
+    a0 = a & _LO32
+    a1 = a >> _S32
+    b0 = b & _LO32
+    b1 = b >> _S32
+    cross1 = a1 * b0 + ((a0 * b0) >> _S32)
+    cross2 = a0 * b1 + (cross1 & _LO32)
+    return a1 * b1 + (cross1 >> _S32) + (cross2 >> _S32)
+
+
+def _pcg64_states_batch(words: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Vectorized :func:`_pcg64_state` over a whole word block.
+
+    ``words`` is the ``8 x n`` array from :func:`_seedseq_states_batch`;
+    returns ``(st_hi, st_lo, inc_hi, inc_lo)`` uint64 arrays — the
+    128-bit (state, inc) pairs as hi/lo limbs, one column per stream.
+    Equivalence with the scalar path is pinned by fuzz tests.
+    """
+    a_hi = words[0] | (words[1] << _S32)  # initstate limbs
+    a_lo = words[2] | (words[3] << _S32)
+    r_hi = words[4] | (words[5] << _S32)  # raw increment words
+    r_lo = words[6] | (words[7] << _S32)
+    inc_lo = (r_lo << _ONE) | _ONE
+    inc_hi = (r_hi << _ONE) | (r_lo >> _S63)
+    # st = inc + initstate  (mod 2^128)
+    st_lo = inc_lo + a_lo
+    st_hi = inc_hi + a_hi + (st_lo < inc_lo)
+    # st = st * PCG_MULT + inc  (mod 2^128)
+    m_lo = st_lo * _PCG_MULT_LO
+    m_hi = (st_hi * _PCG_MULT_LO + st_lo * _PCG_MULT_HI
+            + _mulhi64(st_lo, _PCG_MULT_LO))
+    st_lo = m_lo + inc_lo
+    st_hi = m_hi + inc_hi + (st_lo < m_lo)
+    return st_hi, st_lo, inc_hi, inc_lo
+
+
+class FastStreams:
+    """Drop-in fast derivation of :class:`RngStreams` streams.
+
+    Produces generators whose draw sequences are bit-identical to
+    ``RngStreams(seed).stream(name)`` — pinned by fuzz tests — at ~5x
+    less derivation cost, and ~10x when states are precomputed in batch
+    via :meth:`states_for` + :meth:`use`.
+
+    The crucial difference from :class:`RngStreams`: **one** underlying
+    generator object is reseeded per stream, so only the most recently
+    derived stream is live.  Callers must finish drawing from a stream
+    before deriving the next — the access pattern of the campaign fast
+    path, where per-path streams are consumed strictly one after another.
+    """
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = int(seed)
+        self._bitgen = np.random.PCG64(0)
+        self.generator = np.random.Generator(self._bitgen)
+        self._template = dict(self._bitgen.state)
+
+    def states_for(self, names: list[str]) -> np.ndarray:
+        """Batch-derive the raw seed words for many stream names.
+
+        Returns the ``8 x len(names)`` uint32-valued word array; column
+        ``j`` feeds :meth:`use` to realize stream ``names[j]``.
+        """
+        crcs = np.fromiter(
+            (zlib.crc32(n.encode("utf-8")) & _M32 for n in names),
+            dtype=np.uint64, count=len(names),
+        )
+        return _seedseq_states_batch(self.seed, crcs)
+
+    def use(self, words: np.ndarray, col: int) -> np.random.Generator:
+        """Reseed the shared generator to stream column ``col`` of a
+        :meth:`states_for` word block and return it."""
+        w = words[:, col]
+        st, inc = _pcg64_state(
+            int(w[0]) | (int(w[1]) << 32), int(w[2]) | (int(w[3]) << 32),
+            int(w[4]) | (int(w[5]) << 32), int(w[6]) | (int(w[7]) << 32),
+        )
+        d = dict(self._template)
+        d["state"] = {"state": st, "inc": inc}
+        d["has_uint32"] = 0
+        d["uinteger"] = 0
+        self._bitgen.state = d
+        return self.generator
+
+    def states128_for(self, names: list[str]) -> tuple[np.ndarray, ...]:
+        """Batch-derive finished PCG64 ``(state, inc)`` hi/lo limb arrays
+        for many stream names; column ``j`` feeds :meth:`use128`."""
+        return _pcg64_states_batch(self.states_for(names))
+
+    def use128(self, limbs: tuple[np.ndarray, ...], col: int) -> np.random.Generator:
+        """Reseed the shared generator from a :meth:`states128_for`
+        limb block — the cheapest derivation path (no per-stream
+        128-bit Python arithmetic left, just four int() extractions)."""
+        sh, sl, ih, il = limbs
+        d = dict(self._template)
+        d["state"] = {
+            "state": (int(sh[col]) << 64) | int(sl[col]),
+            "inc": (int(ih[col]) << 64) | int(il[col]),
+        }
+        d["has_uint32"] = 0
+        d["uinteger"] = 0
+        self._bitgen.state = d
+        return self.generator
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Scalar convenience: reseed the shared generator for ``name``.
+
+        Mirrors ``RngStreams.stream`` draw-for-draw, but the returned
+        object is invalidated by the next ``stream``/``use`` call.
+        """
+        return self.use(self.states_for([name]), 0)

@@ -69,9 +69,11 @@ class CbrSource:
         self.send_times: list[float] = []
         self._stop_at: Optional[float] = None
         self._timer: Optional[Event] = None
+        self._t0 = 0.0
 
     def start(self, at: float = 0.0) -> None:
         """Begin operating at absolute simulation time ``at``."""
+        self._t0 = at
         if self.duration is not None:
             self._stop_at = at + self.duration
         self._timer = self.sim.schedule_at(at, self._tick)
@@ -100,10 +102,17 @@ class CbrSource:
         self.next_seq += 1
         self.host.send(pkt)
 
-        gap = self.interval
         if self.jitter > 0.0 and self.rng is not None:
-            gap *= 1.0 + self.jitter * (self.rng.random() - 0.5)
-        self._timer = self.sim.schedule(gap, self._tick)
+            gap = self.interval * (1.0 + self.jitter * (self.rng.random() - 0.5))
+            self._timer = self.sim.schedule(gap, self._tick)
+        else:
+            # Anchor the ideal-CBR grid to start time: ``t0 + k*interval``
+            # accumulates one rounding per send, not k of them, so the
+            # k-th probe of a 5-minute run lands exactly where the
+            # analytic grid (``arange(n) * interval``) says it should
+            # instead of drifting by the summed float error.
+            t = self._t0 + self.next_seq * self.interval
+            self._timer = self.sim.schedule_at(t if t > now else now, self._tick)
 
     # -- analysis helpers --------------------------------------------------
     def send_times_array(self) -> np.ndarray:

@@ -1,0 +1,351 @@
+"""The analytic fast path must be bit-identical to what it replaces.
+
+Three layers of equivalence, each pinned exactly (no tolerances):
+
+* ``FastStreams`` vs ``RngStreams``/``SeedSequence`` — the reimplemented
+  SeedSequence pool hash and PCG64 seeding, fuzzed over seeds and names;
+* ``ProbeKernel``/``run_shard_fast``/``run_experiment_fast`` vs the
+  legacy ``run_probe``/``run_shard``/``_experiment_worker`` object path;
+* the analytic probe vs the *event-driven* simulation: a CBR source
+  through a ``LossyLink`` drops the same packets at the same timestamps.
+
+Plus drift pins: the constants the kernel inlines from
+``sample_path_loss_model`` and ``validate_pair`` are asserted against
+those functions' actual defaults, so editing one without the other fails
+here instead of silently forking the model.
+"""
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.internet import analytic
+from repro.internet.analytic import (
+    ProbeKernel,
+    run_experiment_fast,
+    run_shard_fast,
+    sample_episodes_fast,
+    sample_model_params,
+)
+from repro.internet.pathmodel import PathLossModel, sample_path_loss_model
+from repro.internet.paths import RttMatrix, synthesize_path
+from repro.internet.probe import PROBE_SIZES, ProbeConfig, run_probe, validate_pair
+from repro.internet.shards import SyntheticMesh, plan_shards, run_shard
+from repro.internet.sites import synthetic_sites
+from repro.sim.rng import FastStreams, RngStreams
+
+
+def _fresh_caches():
+    analytic._MESH_CACHE.clear()
+    analytic._KERNEL_CACHE.clear()
+    analytic._STREAMS_CACHE.clear()
+
+
+# ----------------------------------------------------------------------
+# FastStreams vs RngStreams / SeedSequence
+# ----------------------------------------------------------------------
+class TestFastStreams:
+    @pytest.mark.parametrize("seed", [0, 1, 2006, 2**31 - 1, 2**63 - 7])
+    def test_scalar_stream_matches_rngstreams(self, seed):
+        names = [f"loss/a{i}.example/b{i}.example" for i in range(5)]
+        names += [f"shard-exp/{k}" for k in (0, 1, 649)]
+        fast = FastStreams(seed)
+        for name in names:
+            want = RngStreams(seed).stream(name).random(7)
+            got = fast.stream(name).random(7)
+            assert want.tolist() == got.tolist()
+
+    def test_fuzz_many_seeds_and_names(self):
+        rng = np.random.default_rng(0)
+        fails = 0
+        for trial in range(60):
+            seed = int(rng.integers(0, 2**63))
+            name = f"s/{trial}/{int(rng.integers(0, 10_000))}"
+            a = RngStreams(seed).stream(name)
+            b = FastStreams(seed).stream(name)
+            if a.random(3).tolist() != b.random(3).tolist():
+                fails += 1
+        assert fails == 0
+
+    def test_batch_states_match_scalar_path(self):
+        fs = FastStreams(2006)
+        names = [f"rtt/x{i}/y{i}" for i in range(40)]
+        words = fs.states_for(names)
+        for j in (0, 7, 39):
+            got = fs.use(words, j).random(4).tolist()
+            want = RngStreams(2006).stream(names[j]).random(4).tolist()
+            assert got == want
+
+    def test_vectorized_pcg64_seeding_matches_scalar(self):
+        """states128_for/use128 (uint64 limb arithmetic) must agree with
+        the scalar 128-bit Python-int seeding for every column."""
+        rng = np.random.default_rng(3)
+        for _ in range(8):
+            seed = int(rng.integers(0, 2**63))
+            fs = FastStreams(seed)
+            names = [f"loss/h{i}/h{j}" for i in range(6) for j in range(4)]
+            words = fs.states_for(names)
+            limbs = fs.states128_for(names)
+            for col in range(len(names)):
+                want = fs.use(words, col).random(3).tolist()
+                got = fs.use128(limbs, col).random(3).tolist()
+                assert want == got
+
+    def test_distribution_methods_match(self):
+        """The reseeded generator must track every distribution the
+        campaign draws from, not just raw doubles."""
+        a = RngStreams(7).stream("loss/a/b")
+        b = FastStreams(7).stream("loss/a/b")
+        assert a.lognormal(mean=0.0, sigma=0.8) == b.lognormal(mean=0.0, sigma=0.8)
+        assert a.uniform(0.6, 0.95) == b.uniform(0.6, 0.95)
+        assert a.poisson(3.3) == b.poisson(3.3)
+        assert a.exponential(0.01, size=5).tolist() == b.exponential(0.01, size=5).tolist()
+
+    def test_seed_type_validation(self):
+        with pytest.raises(TypeError):
+            FastStreams("42")
+
+
+# ----------------------------------------------------------------------
+# Inlined-constant drift pins
+# ----------------------------------------------------------------------
+class TestInlinedConstants:
+    def test_validate_pair_defaults(self):
+        sig = inspect.signature(validate_pair)
+        assert sig.parameters["min_losses"].default == analytic._MIN_LOSSES
+        assert sig.parameters["rel_tolerance"].default == analytic._REL_TOLERANCE
+
+    def test_model_params_match_sample_path_loss_model(self):
+        """The inlined draw chain must consume the stream exactly like
+        sample_path_loss_model and produce the same model."""
+        streams = RngStreams(11)
+        sites = synthetic_sites(4)
+        path = synthesize_path(streams, sites[0], sites[1])
+        model = sample_path_loss_model(path, streams)
+
+        fast = FastStreams(11)
+        # consume the rtt stream identically first
+        synthesize_path(RngStreams(11), sites[0], sites[1])
+        rng = fast.stream(f"loss/{path.src.hostname}/{path.dst.hostname}")
+        rate, mean_dur, drop_p, rand_p = sample_model_params(rng, path.base_rtt)
+        assert model.episode_rate == rate
+        assert model.episode_mean_duration == mean_dur
+        assert model.episode_drop_prob == drop_p
+        assert model.random_loss_prob == rand_p
+
+    def test_sample_episodes_fast_matches_model(self):
+        model = PathLossModel(
+            rtt=0.05, episode_rate=0.4, episode_mean_duration=0.01,
+            episode_drop_prob=0.8, random_loss_prob=1e-4,
+        )
+        for seed in (0, 3, 9):
+            a = np.random.default_rng(seed)
+            b = np.random.default_rng(seed)
+            s1, d1 = model.sample_episodes(101.0, a)
+            s2, d2 = sample_episodes_fast(b, 0.4, 0.01, 101.0)
+            assert s1.tolist() == s2.tolist()
+            assert d1.tolist() == d2.tolist()
+            # and the generators are left at the same stream position
+            assert a.random() == b.random()
+
+    def test_sample_episodes_fast_empty_case_stream_position(self):
+        """size-0 uniform/exponential draws consume no state, so the
+        skip must leave the stream exactly where the legacy path does."""
+        model = PathLossModel(
+            rtt=0.05, episode_rate=1e-9, episode_mean_duration=0.01,
+            episode_drop_prob=0.8, random_loss_prob=1e-4,
+        )
+        a = np.random.default_rng(5)
+        b = np.random.default_rng(5)
+        s1, _ = model.sample_episodes(1.0, a)
+        s2, _ = sample_episodes_fast(b, 1e-9, 0.01, 1.0)
+        assert len(s1) == len(s2) == 0
+        assert a.random() == b.random()
+
+
+# ----------------------------------------------------------------------
+# ProbeKernel vs run_probe
+# ----------------------------------------------------------------------
+def _probe_fixture(seed, cfg):
+    streams = RngStreams(seed)
+    sites = synthetic_sites(6)
+    path = synthesize_path(streams, sites[0], sites[3])
+    model = sample_path_loss_model(path, streams)
+    horizon = cfg.duration * 1.01
+    rng = streams.stream("exp/0")
+    episodes = model.sample_episodes(horizon, rng)
+    return path, model, rng, episodes
+
+
+class TestProbeKernel:
+    @pytest.mark.parametrize("cfg", [
+        ProbeConfig(duration=1.0),
+        ProbeConfig(duration=10.0),
+        ProbeConfig(duration=2.0, jitter=0.0),
+        ProbeConfig(duration=2.0, jitter=0.3),
+    ], ids=["d1", "d10", "nojitter", "bigjitter"])
+    @pytest.mark.parametrize("seed", [0, 2006, 77])
+    def test_pair_matches_run_probe(self, cfg, seed):
+        path, model, rng, episodes = _probe_fixture(seed, cfg)
+        small = run_probe(path, model, rng, cfg, packet_size=PROBE_SIZES[0],
+                          episodes=episodes)
+        large = run_probe(path, model, rng, cfg, packet_size=PROBE_SIZES[1],
+                          episodes=episodes)
+
+        _, _, rng2, episodes2 = _probe_fixture(seed, cfg)
+        kernel = ProbeKernel(cfg)
+        assert kernel.monotone
+        c_small, c_large = kernel.run_pair(
+            rng2, episodes2, model.episode_drop_prob, model.random_loss_prob,
+        )
+        assert (c_small, c_large) == (small.n_lost, large.n_lost)
+        assert kernel.loss_times(0).tolist() == small.loss_times.tolist()
+        assert kernel.loss_times(1).tolist() == large.loss_times.tolist()
+        assert kernel.validate() == validate_pair(small, large)
+
+    def test_kernel_reuse_is_stateless_across_runs(self):
+        """Buffer reuse must not leak one path's draws into the next."""
+        cfg = ProbeConfig(duration=1.0)
+        kernel = ProbeKernel(cfg)
+        results = []
+        for seed in (1, 2, 1):
+            path, model, rng, episodes = _probe_fixture(seed, cfg)
+            counts = kernel.run_pair(rng, episodes, model.episode_drop_prob,
+                                     model.random_loss_prob)
+            results.append((counts, kernel.loss_times(0).tolist()))
+        assert results[0] == results[2]
+
+
+# ----------------------------------------------------------------------
+# Shard and campaign-worker equivalence
+# ----------------------------------------------------------------------
+class TestShardEquivalence:
+    @pytest.mark.parametrize("duration", [1.0, 10.0])
+    def test_run_shard_fast_matches_legacy(self, duration, monkeypatch):
+        monkeypatch.setenv("REPRO_ANALYTIC_PROBE", "0")
+        _fresh_caches()
+        cfg = ProbeConfig(duration=duration)
+        spec = plan_shards(26, 6, seed=2006, n_paths=120)[2]
+        legacy = run_shard(spec, probe_config=cfg)
+        fast = run_shard_fast(spec, probe_config=cfg)
+        assert fast.fingerprint() == legacy.fingerprint()
+        assert fast.n_valid == legacy.n_valid
+        assert fast.n_rejected == legacy.n_rejected
+        assert fast.n_experiments == legacy.n_experiments
+
+    def test_knob_routes_run_shard(self, monkeypatch):
+        """REPRO_ANALYTIC_PROBE=0 must route around the kernel, and the
+        two routes must agree."""
+        cfg = ProbeConfig(duration=1.0)
+        spec = plan_shards(26, 4, seed=9, n_paths=40)[0]
+        monkeypatch.setenv("REPRO_ANALYTIC_PROBE", "0")
+        off = run_shard(spec, probe_config=cfg)
+        monkeypatch.setenv("REPRO_ANALYTIC_PROBE", "1")
+        _fresh_caches()
+        on = run_shard(spec, probe_config=cfg)
+        assert on.fingerprint() == off.fingerprint()
+
+    def test_campaign_worker_records_identical(self, monkeypatch):
+        from repro.internet.campaign import _experiment_worker
+
+        matrix = RttMatrix(RngStreams(2006))
+        cfg = ProbeConfig(duration=3.0)
+        jobs = [
+            (2006, cfg, p, i, 1000.0 * (i + 0.5), None)
+            for i, p in enumerate(matrix.all_paths()[:4])
+        ]
+        _fresh_caches()
+        monkeypatch.setenv("REPRO_ANALYTIC_PROBE", "1")
+        fast = [_experiment_worker(j) for j in jobs]
+        monkeypatch.setenv("REPRO_ANALYTIC_PROBE", "0")
+        slow = [_experiment_worker(j) for j in jobs]
+        assert fast == slow
+
+    def test_run_experiment_fast_returns_real_probe_runs(self):
+        _fresh_caches()
+        matrix = RttMatrix(RngStreams(2006))
+        path = matrix.all_paths()[0]
+        out = run_experiment_fast(2006, ProbeConfig(duration=2.0), path, 0, 500.0)
+        assert out is not None
+        small, large, valid = out
+        assert small.packet_size == PROBE_SIZES[0]
+        assert large.packet_size == PROBE_SIZES[1]
+        assert small.n_sent == large.n_sent == 2000
+        assert isinstance(valid, bool)
+        assert small.rtt == path.rtt_at(500.0)
+
+
+# ----------------------------------------------------------------------
+# Analytic vs event-driven simulation
+# ----------------------------------------------------------------------
+class TestAnalyticVsSimulated:
+    def test_identical_loss_timestamps(self):
+        """The same (seed, path): the analytic probe and a CBR source
+        through a LossyLink must drop the same packets at the same
+        femtosecond — the fig4-path end-to-end oracle.
+
+        The event-driven side only matches because the CBR timer grid is
+        anchored (t0 + k*interval): under the old drifting schedule the
+        k-th send time accumulated k roundings and the masks diverged.
+        """
+        from repro.internet.simpath import LossyLink
+        from repro.sim.engine import Simulator
+        from repro.sim.node import Host
+        from repro.tcp.cbr import CbrSource
+
+        streams = RngStreams(2006)
+        sites = synthetic_sites(6)
+        path = synthesize_path(streams, sites[1], sites[4])
+        model = sample_path_loss_model(path, streams)
+        cfg = ProbeConfig(duration=30.0, jitter=0.0)
+        horizon = cfg.duration * 1.01
+
+        # analytic reference
+        rng_a = streams.spawn("oracle").stream("exp/0")
+        episodes = model.sample_episodes(horizon, rng_a)
+        ref = run_probe(path, model, rng_a, cfg, packet_size=48,
+                        episodes=episodes)
+
+        # event-driven twin: same generator family, episodes drawn by the
+        # LossyLink constructor, per-packet uniforms drawn at send time
+        rng_s = streams.spawn("oracle").stream("exp/0")
+        sim = Simulator()
+        src = Host(sim, name="src")
+        sink = Host(sim, name="sink")
+        from repro.sim.trace import DropTrace
+        trace = DropTrace("oracle")
+        link = LossyLink(sim, sink, rate_bps=1e9, delay=0.0, model=model,
+                         rng=rng_s, horizon=horizon, drop_trace=trace)
+        src.uplink = link
+        cbr = CbrSource(
+            sim, src, flow_id=1, dst=sink.node_id,
+            rate_bps=48 * 8.0 / cfg.interval, packet_size=48,
+            duration=cfg.duration,
+        )
+        cbr.start(0.0)
+        sim.run()
+
+        assert cbr.next_seq == ref.n_sent
+        assert len(trace.times) == ref.n_lost > 0
+        assert trace.times.tolist() == ref.loss_times.tolist()
+
+    def test_cbr_grid_matches_analytic_grid_exactly(self):
+        """Anchored CBR send times == arange(n) * interval, bit for bit
+        (the schedule_every-style drift regression at the source level)."""
+        from repro.sim.engine import Simulator
+        from repro.sim.node import Host
+        from repro.sim.link import Link
+        from repro.tcp.cbr import CbrSource
+
+        sim = Simulator()
+        src = Host(sim, name="src")
+        sink = Host(sim, name="sink")
+        src.uplink = Link(sim, sink, 1e9, 0.0)
+        cbr = CbrSource(sim, src, flow_id=1, dst=sink.node_id,
+                        rate_bps=48 * 8.0 / 0.001, packet_size=48,
+                        duration=5.0)
+        cbr.start(0.0)
+        sim.run()
+        want = (np.arange(5000) * 0.001).tolist()
+        assert cbr.send_times == want

@@ -129,3 +129,47 @@ class TestBuildSimPath:
         src.send(Packet(2, 0, 40, src=src.node_id, dst=dst.node_id))
         sim.run()
         assert got[0] == pytest.approx(path.base_rtt / 2, rel=0.01)
+
+
+class TestWeatherHorizonExtension:
+    """Regression: episodes used to be pre-sampled over a fixed 600 s
+    horizon and traffic past it silently saw an episode-free network."""
+
+    def test_episode_losses_continue_past_default_horizon(self):
+        # heavy weather: ~2 episodes/s, 50 ms each, certain drops inside
+        m = model(erate=2.0, edur=0.05, h=1.0, eps=0.0)
+        sim, link, got = TestLossyLink()._wired(m, seed=3)
+        n = 2000
+        # probe exclusively *beyond* the old fixed horizon: [600, 800) s
+        for k in range(n):
+            t = 600.0 + k * 0.1
+            sim.schedule_at(t, lambda: link.send(
+                Packet(1, 0, 100, src=0, dst=0)))
+        sim.run()
+        # ~10% of offered load falls inside an episode; a silent void
+        # past 600 s would make this exactly zero
+        assert link.model_drops > 50
+        assert len(got) > 0  # and plenty still got through
+        assert link._covered >= 800.0
+
+    def test_extension_covers_arbitrary_jumps(self):
+        m = model(erate=0.5, edur=0.02)
+        sim, link, _ = TestLossyLink()._wired(m, seed=1)
+        sim.schedule_at(5000.0, lambda: link.send(Packet(1, 0, 100, src=0, dst=0)))
+        sim.run()
+        assert link._covered >= 5000.0
+        # slabs are appended in offset order: starts stay sorted
+        assert np.all(np.diff(link._starts) >= 0)
+
+    def test_pre_horizon_behavior_unchanged(self):
+        """Traffic inside the original horizon must see the exact same
+        weather as before the lazy extension (no early resampling)."""
+        m = model(erate=1.0, edur=0.01)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        sim = Simulator()
+        host = Host(sim)
+        a = LossyLink(sim, host, 1e9, 0.001, m, rng_a)
+        b = LossyLink(sim, host, 1e9, 0.001, m, rng_b, horizon=600.0)
+        assert a._starts.tolist() == b._starts.tolist()
+        assert a._durations.tolist() == b._durations.tolist()

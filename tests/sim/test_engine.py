@@ -256,3 +256,102 @@ def test_attach_metrics_exports_live_engine_gauges():
     assert g["engine.events_processed"] == 3
     assert g["engine.sim_time"] == 3.0
     assert g["engine.heap_size"] == 0
+
+
+class TestRepeatingEventAnchoring:
+    def test_schedule_every_fires_on_exact_grid(self):
+        """Drift regression: the k-th firing lands at exactly
+        ``t0 + k*interval``, not at the sum of k accumulated roundings.
+
+        0.1 is not a binary float, so the old ``now + interval`` re-arm
+        drifted off the grid within tens of firings; the anchored form
+        must match the analytic grid bit for bit at firing 10_000."""
+        sim = Simulator()
+        times = []
+        rep = sim.schedule_every(0.1, lambda: times.append(sim.now))
+        sim.schedule(1001.0, lambda: None)  # keep the run alive
+        sim.run()
+        rep.cancel()
+        n = len(times)
+        assert n == 10_010  # every grid point through the keep-alive at 1001
+        assert times == [(k + 1) * 0.1 for k in range(n)]  # exact ==
+        # the drifting sum provably diverges from this grid
+        drifting, t = [], 0.0
+        for _ in range(n):
+            t += 0.1
+            drifting.append(t)
+        assert drifting != times
+
+    def test_anchor_is_start_time_not_zero(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.25, lambda: sim.schedule_every(0.5, lambda: times.append(sim.now)))
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        assert times == [0.25 + (k + 1) * 0.5 for k in range(6)]
+
+
+class TestWheelCancelBookkeeping:
+    """Satellite: cancel accounting must hold for wheel-resident timers,
+    not just heap ones — the supervisor's cancelled-ratio gauge and the
+    ``pending`` property read through both."""
+
+    def test_wheel_cancel_counts_and_pending_exact(self):
+        sim = Simulator()  # wheel on by default
+        assert sim._w0 is not None
+        handles = [sim.schedule(0.001 * (i + 1), lambda: None) for i in range(10)]
+        assert sim._w0_count > 0  # they actually live in the wheel
+        for ev in handles[:4]:
+            ev.cancel()
+        assert sim._cancelled == 4
+        assert sim.pending == 6
+        assert sim.cancelled_ratio == pytest.approx(0.4)
+        sim.run()
+        assert sim.events_processed == 6
+        assert sim.pending == 0
+
+    def test_mass_cancellation_compacts_wheel_buckets(self):
+        sim = Simulator()
+        keep = [sim.schedule(0.002 * (i + 1), lambda: None) for i in range(10)]
+        doomed = [sim.schedule(0.05, lambda: None) for _ in range(190)]
+        assert sim._w0_count >= 190
+        for ev in doomed:
+            ev.cancel()
+        assert sim.compactions >= 1
+        assert sim.queued < 64  # corpses swept out of the buckets
+        assert sim.pending == 10
+        sim.run()
+        assert sim.events_processed == 10
+
+    def test_overflow_heap_cancel_still_counted(self):
+        sim = Simulator()
+        near = sim.schedule(0.01, lambda: None)
+        far = sim.schedule(1e6, lambda: None)  # beyond wheel horizon -> heap
+        assert len(sim._heap) == 1
+        far.cancel()
+        near.cancel()
+        assert sim._cancelled == 2
+        assert sim.pending == 0
+
+    def test_cancel_churn_equivalence_wheel_vs_heap(self):
+        """Heavy cancel/reschedule churn: wheel and heap engines must
+        agree on every firing and on final bookkeeping."""
+        import numpy as np
+
+        def churn(sim):
+            rng = np.random.default_rng(42)
+            log, handles = [], []
+            def fire(tag):
+                log.append((sim.now, tag))
+                if handles and tag % 3 == 0:
+                    handles[int(rng.integers(0, len(handles)))].cancel()
+            for i in range(600):
+                delay = float(rng.integers(0, 64)) * 0.004
+                handles.append(sim.schedule(delay, fire, i))
+                if rng.random() < 0.4:
+                    handles[int(rng.integers(0, len(handles)))].cancel()
+            sim.run()
+            return log, sim.events_processed, sim.pending
+
+        # identical workloads, wheel on vs off
+        assert churn(Simulator(use_wheel=True)) == churn(Simulator(use_wheel=False))

@@ -179,3 +179,78 @@ def test_schedule_fast_validates_delay():
         sim.schedule_fast(-0.001, lambda: None)
     with pytest.raises(SimulationError):
         sim.schedule_fast(float("inf"), lambda: None)
+
+
+# ----------------------------------------------------------------------
+# Timer wheel vs heap, and same-timestamp batch dequeue
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_wheel_engine_matches_heap_engine(seed):
+    """The wheel fast path (near timers in slots, far timers in the
+    overflow heap) must fire identically to the pure-heap engine for any
+    workload — same order, same timestamps, same tie-breaks."""
+    wheel_log = _random_workload(Simulator(use_wheel=True), seed)
+    heap_log = _random_workload(Simulator(use_wheel=False), seed)
+    assert len(wheel_log) > 400
+    assert wheel_log == heap_log
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_wheel_engine_matches_reference(seed):
+    assert (_random_workload(Simulator(use_wheel=True), seed)
+            == _random_workload(ReferenceSimulator(), seed))
+
+
+@pytest.mark.parametrize("use_wheel", [True, False], ids=["wheel", "heap"])
+def test_same_timestamp_batches_dequeue_in_schedule_order(use_wheel):
+    """Batch dequeue of a same-timestamp run must preserve the (time,
+    seq) contract: FIFO within a timestamp, across every scheduling API
+    and across events that append to a batch currently being drained."""
+    sim = Simulator(use_wheel=use_wheel)
+    ref = ReferenceSimulator()
+    def drive(s):
+        log = []
+        def fire(tag):
+            log.append((s.now, tag))
+            # extend the *current* timestamp's batch mid-drain
+            if tag == 3:
+                s.schedule_fast(0.0, fire, 100)
+                s.schedule(0.0, fire, 101)
+        for t in (0.5, 0.5, 0.25, 0.5, 0.25):
+            for i in range(6):
+                if i % 2:
+                    s.schedule_fast(t, fire, int(t * 100) + i)
+                else:
+                    s.schedule(t, fire, int(t * 100) + i)
+        # a large homogeneous batch (exercises the due-run sort path)
+        for i in range(200):
+            s.schedule_fast(1.0, fire, 1000 + i)
+        s.run()
+        return log
+    assert drive(sim) == drive(ref)
+
+
+def test_far_timers_overflow_to_heap_and_cascade_back():
+    """Timers beyond the wheel horizon start in the overflow heap but
+    must still fire in exact order with near timers, including after the
+    clock jumps far forward through heap-only regions."""
+    sim = Simulator(use_wheel=True)
+    log = []
+    for t in (1e5, 2.0, 1e5 + 0.001, 0.001, 3e5):
+        sim.schedule_at(t, log.append, t)
+    # near timers scheduled *from* a far-future callback re-engage the wheel
+    sim.schedule_at(1e5, lambda: sim.schedule_fast(0.01, log.append, "near-after-jump"))
+    sim.run()
+    assert log == [0.001, 2.0, 1e5, 1e5 + 0.001, "near-after-jump", 3e5]
+
+
+def test_run_until_with_wheel_resident_timers():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    for k in range(100):
+        sim.schedule_fast(0.001 * (k + 1), fired.append, k)
+    sim.run(until=0.05)
+    assert fired == list(range(50))
+    assert sim.now == 0.05
+    sim.run()
+    assert fired == list(range(100))

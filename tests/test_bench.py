@@ -98,3 +98,60 @@ def test_cli_bench_smoke_writes_trajectory_file(tmp_path, monkeypatch):
     out = tmp_path / "BENCH_0.json"
     assert out.exists()
     validate_bench(json.loads(out.read_text()))
+
+
+class TestRegressionGate:
+    """`python -m repro bench --check-regression`: the two latest
+    trajectory files must not lose more than 5% of any stage's speedup."""
+
+    @staticmethod
+    def _write(tmp_path, n, speedups):
+        doc = {
+            "schema": SCHEMA,
+            "benchmarks": {
+                name: {"speedup": s} for name, s in speedups.items()
+            },
+        }
+        (tmp_path / f"BENCH_{n}.json").write_text(json.dumps(doc))
+
+    def test_passes_when_speedups_hold(self, tmp_path):
+        from repro.bench import check_regression
+        self._write(tmp_path, 0, {"event_loop": 2.0, "fig2": 1.5})
+        self._write(tmp_path, 1, {"event_loop": 1.95, "fig2": 1.6})
+        assert check_regression(tmp_path) == []
+
+    def test_fails_on_lost_speedup(self, tmp_path):
+        from repro.bench import check_regression
+        self._write(tmp_path, 0, {"event_loop": 2.0, "fig2": 1.5})
+        self._write(tmp_path, 1, {"event_loop": 1.7, "fig2": 1.5})
+        violations = check_regression(tmp_path)
+        assert len(violations) == 1
+        assert "event_loop" in violations[0]
+        assert "1.700x" in violations[0]
+
+    def test_compares_only_latest_two(self, tmp_path):
+        from repro.bench import check_regression
+        self._write(tmp_path, 0, {"event_loop": 99.0})  # ancient, ignored
+        self._write(tmp_path, 1, {"event_loop": 2.0})
+        self._write(tmp_path, 2, {"event_loop": 2.0})
+        assert check_regression(tmp_path) == []
+
+    def test_single_or_no_file_passes(self, tmp_path):
+        from repro.bench import check_regression
+        assert check_regression(tmp_path) == []
+        self._write(tmp_path, 0, {"event_loop": 2.0})
+        assert check_regression(tmp_path) == []
+
+    def test_new_stage_without_history_is_ignored(self, tmp_path):
+        from repro.bench import check_regression
+        self._write(tmp_path, 0, {"event_loop": 2.0})
+        self._write(tmp_path, 1, {"event_loop": 2.0, "campaign_shard": 5.0})
+        assert check_regression(tmp_path) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        from repro.bench import main
+        self._write(tmp_path, 0, {"event_loop": 2.0})
+        self._write(tmp_path, 1, {"event_loop": 1.0})
+        assert main([str(tmp_path), "--check-regression"]) == 1
+        self._write(tmp_path, 2, {"event_loop": 2.5})
+        assert main([str(tmp_path), "--check-regression"]) == 0
