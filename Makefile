@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test check-invariants faults report zoo-smoke chaos campaign-smoke bench bench-smoke bench-micro bench-paper figures examples clean
+.PHONY: install test check-invariants faults report zoo-smoke chaos campaign-smoke top-smoke bench bench-smoke bench-micro bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: check-invariants faults report zoo-smoke chaos campaign-smoke bench-smoke
+test: check-invariants faults report zoo-smoke chaos campaign-smoke top-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # Chaos lane: SIGKILL the live campaign supervisor from outside, hang
@@ -21,6 +21,13 @@ chaos:
 # to the uninterrupted reference, under an explicit wall-clock budget.
 campaign-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.internet.smoke
+
+# Fleet-observability smoke: a seeded mini-campaign serves /metrics and
+# /snapshot.json mid-run (--metrics-port 0, port discovered from the
+# state dir), then `repro top --once` post-mortems the finished state
+# directory with zero torn records.
+top-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.topsmoke
 
 # Protocol/AQM zoo lane: every registered sender and queue kind must run
 # a grid cell (the registry-completeness tests fail on unregistered-but-
@@ -69,10 +76,10 @@ bench-smoke:
 
 # pytest-benchmark micro lane (multi-round statistical measurements).
 bench-micro:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 bench-paper:
-	REPRO_SCALE=paper $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	REPRO_SCALE=paper PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 figures:
 	$(PYTHON) examples/export_figures.py figures/

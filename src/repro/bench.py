@@ -495,23 +495,39 @@ def run_bench(cfg: BenchConfig = FULL, quiet: bool = False) -> dict:
     ]
     if cfg.overhead_check:
         stages.append(("telemetry_overhead", _bench_overhead))
+    from repro.obs.bus import RunLog
+
+    log = RunLog("bench", stream=None if quiet else sys.stdout)
     for name, fn in stages:
         result = fn(cfg)
         benches[name] = result
-        if not quiet:
-            if "speedup" in result:
-                print(
+        if "speedup" in result:
+            log.emit(
+                "stage",
+                message=(
                     f"  {name:<20} {result['baseline']:>12,.0f} -> "
                     f"{result['optimized']:>12,.0f} {result['unit']:<12} "
                     f"({result['speedup']:.2f}x)"
-                )
-            elif "overhead" in result:
-                print(f"  {name:<20} overhead {result['overhead']:.3f}x")
-            else:
-                print(
+                ),
+                stage=name, speedup=result["speedup"],
+                optimized=result["optimized"], unit=result["unit"],
+            )
+        elif "overhead" in result:
+            log.emit(
+                "stage",
+                message=f"  {name:<20} overhead {result['overhead']:.3f}x",
+                stage=name, overhead=result["overhead"],
+            )
+        else:
+            log.emit(
+                "stage",
+                message=(
                     f"  {name:<20} {result['optimized']:>12,.1f} "
                     f"{result['unit']:<12}"
-                )
+                ),
+                stage=name, optimized=result["optimized"],
+                unit=result["unit"],
+            )
     doc = {
         "schema": SCHEMA,
         "mode": cfg.name,
@@ -658,28 +674,49 @@ def main(argv: Optional[list[str]] = None) -> int:
                    "its predecessor")
     args = p.parse_args(argv)
 
+    from repro.obs.bus import RunLog
+
+    log = RunLog("bench", stream=sys.stdout)
     if args.check_regression:
         violations = check_regression(args.directory)
         if violations:
+            errlog = RunLog("bench", stream=sys.stderr, mode=log.mode)
             for v in violations:
-                print(f"REGRESSION: {v}", file=sys.stderr)
+                errlog.emit(
+                    "regression", message=f"REGRESSION: {v}", detail=v
+                )
             return 1
-        print(f"bench regression gate: ok (floor {REGRESSION_FLOOR}x)")
+        log.emit(
+            "gate",
+            message=f"bench regression gate: ok (floor {REGRESSION_FLOOR}x)",
+            floor=REGRESSION_FLOOR, ok=True,
+        )
         return 0
 
     cfg = SMOKE if args.smoke else FULL
-    print(f"repro bench [{cfg.name}] — paired baseline vs optimized:")
+    log.emit(
+        "start",
+        message=f"repro bench [{cfg.name}] — paired baseline vs optimized:",
+        mode=cfg.name,
+    )
     doc = run_bench(cfg)
     out = next_bench_path(args.directory)
     out.parent.mkdir(parents=True, exist_ok=True)
     _write_atomic(doc, out)
     fig2 = doc["benchmarks"]["fig2_scaled"]
     loop = doc["benchmarks"]["event_loop"]
-    print(
-        f"event loop {loop['speedup']:.2f}x, fig2-scaled {fig2['speedup']:.2f}x "
-        f"(peak RSS {doc['peak_rss_kb'] / 1024:.0f} MiB)"
+    log.emit(
+        "summary",
+        message=(
+            f"event loop {loop['speedup']:.2f}x, fig2-scaled "
+            f"{fig2['speedup']:.2f}x "
+            f"(peak RSS {doc['peak_rss_kb'] / 1024:.0f} MiB)"
+        ),
+        event_loop_speedup=loop["speedup"],
+        fig2_scaled_speedup=fig2["speedup"],
+        peak_rss_kb=doc["peak_rss_kb"],
     )
-    print(f"[bench written to {out}]")
+    log.emit("written", message=f"[bench written to {out}]", path=str(out))
     return 0
 
 

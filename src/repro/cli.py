@@ -183,6 +183,8 @@ environment knobs (set by the flags above, or directly):
   REPRO_TELEMETRY_STRIDE   sampler stride, sim-seconds      (default 0.05)
   REPRO_TELEMETRY_SAMPLES  per-series sample bound          (default 512)
   REPRO_REPORT             1 = auto-render report.md        (--report)
+  REPRO_LOG                json = structured log records    (--log-json)
+  REPRO_METRICS_PORT       /metrics port for fleet runs     (--metrics-port)
 """
 
 
@@ -195,18 +197,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "list", "report", "bench", "campaign"],
+        choices=sorted(EXPERIMENTS)
+        + ["all", "list", "report", "bench", "campaign", "top", "history"],
         help="which figure/table to regenerate ('list' to enumerate; "
         "'report' renders a recorded telemetry run directory; 'bench' "
         "runs the tracked benchmark suite; 'campaign' runs a supervised "
-        "sharded measurement campaign)",
+        "sharded measurement campaign; 'top' is a live console over a "
+        "campaign/zoo state directory; 'history' renders the cross-run "
+        "health timeline)",
     )
     p.add_argument(
         "target",
         nargs="?",
         default=None,
         help="run directory for the 'report' command / output directory "
-        "for the 'bench' command (ignored otherwise)",
+        "for the 'bench' command / state directory for the 'top' command "
+        "/ root directory for the 'history' command (ignored otherwise)",
     )
     p.add_argument(
         "--smoke",
@@ -296,7 +302,37 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--html",
         action="store_true",
-        help="with the 'report' command: also render report.html",
+        help="with the 'report' and 'history' commands: also render HTML",
+    )
+    p.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log records (one per line) instead of "
+        "the human-readable diagnostic text; result blocks are unchanged",
+    )
+    obs = p.add_argument_group("fleet observability")
+    obs.add_argument(
+        "--once",
+        action="store_true",
+        help="with the 'top' command: print one deterministic snapshot "
+        "and exit (no ANSI; byte-stable for identical directory bytes)",
+    )
+    obs.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="with the 'top' command: live refresh interval (default 2.0)",
+    )
+    obs.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="with the 'campaign' and 'zoo' commands: serve Prometheus "
+        "/metrics and /snapshot.json on this port during the run "
+        "(0 = auto-assign; the bound port lands in the state directory's "
+        "metrics-port file)",
     )
     camp = p.add_argument_group("campaign command")
     camp.add_argument(
@@ -397,6 +433,8 @@ def _run_campaign(args) -> int:
     from repro.internet.probe import ProbeConfig
     from repro.internet.shards import plan_shards
     from repro.internet.supervisor import SupervisorConfig, run_sharded_campaign
+    from repro.obs.bus import RunLog
+    from repro.obs.httpd import maybe_obs_server
     from repro.obs.runtime import open_flight_log
 
     state_dir = args.state_dir or os.environ.get(ENV_CHECKPOINT_DIR, "").strip()
@@ -434,24 +472,43 @@ def _run_campaign(args) -> int:
             "resume": bool(args.resume),
         },
     )
+    runlog = RunLog("campaign")
+    server = maybe_obs_server(state_dir)
+    if server is not None:
+        runlog.emit(
+            "metrics",
+            message=f"[campaign: serving /metrics on port {server.port}]",
+            port=server.port,
+        )
     t0 = time.perf_counter()
-    result = run_sharded_campaign(
-        n_sites=args.sites,
-        n_shards=args.shards,
-        state_dir=state_dir,
-        seed=seed,
-        n_paths=args.paths,
-        probe_config=probe_config,
-        resume=args.resume,
-        fault_plan=fault_plan,
-        tracer=log.tracer,
-        config=config,
-    )
+    try:
+        result = run_sharded_campaign(
+            n_sites=args.sites,
+            n_shards=args.shards,
+            state_dir=state_dir,
+            seed=seed,
+            n_paths=args.paths,
+            probe_config=probe_config,
+            resume=args.resume,
+            fault_plan=fault_plan,
+            tracer=log.tracer,
+            config=config,
+        )
+    finally:
+        if server is not None:
+            server.close()
     elapsed = time.perf_counter() - t0
     log.finalize()
     print(result.summary())
     rate = result.n_experiments / elapsed if elapsed > 0 else float("inf")
-    print(f"[campaign: {elapsed:.1f}s, {rate:.0f} paths/s]", file=sys.stderr)
+    runlog.emit(
+        "finished",
+        message=f"[campaign: {elapsed:.1f}s, {rate:.0f} paths/s]",
+        status=result.status,
+        elapsed_s=round(elapsed, 3),
+        paths_per_s=round(rate, 1),
+        shards_quarantined=len(result.quarantined),
+    )
     return 0
 
 
@@ -467,8 +524,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
 
+    from repro.obs.bus import ENV_LOG
+
+    saved_log = os.environ.get(ENV_LOG)
+    if args.log_json:
+        os.environ[ENV_LOG] = "json"
+    try:
+        return _dispatch(args)
+    finally:
+        if saved_log is None:
+            os.environ.pop(ENV_LOG, None)
+        else:
+            os.environ[ENV_LOG] = saved_log
+
+
+def _dispatch(args) -> int:
     if args.experiment == "report":
         return _run_report(args.target, html=args.html)
+
+    if args.experiment == "top":
+        from repro.obs.console import run_top
+
+        if not args.target:
+            print(
+                "usage: repro top <state-dir>  (a campaign/zoo state "
+                "directory)",
+                file=sys.stderr,
+            )
+            return 2
+        return run_top(args.target, once=args.once, interval=args.interval)
+
+    if args.experiment == "history":
+        from repro.obs.history import main as history_main
+
+        history_argv = [args.target or "."]
+        if args.out:
+            history_argv += ["--out", args.out]
+        if args.html:
+            history_argv.append("--html")
+        return history_main(history_argv)
 
     if args.experiment == "bench":
         from repro.bench import main as bench_main
@@ -499,6 +593,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # through every runner signature (see repro.obs.runtime).
     from repro.experiments.parallel import ENV_WORKERS
     from repro.faults import ENV_CHECKPOINT_DIR, ENV_FAULTS, ENV_ON_ERROR
+    from repro.obs.httpd import ENV_METRICS_PORT
     from repro.obs.runtime import ENV_CHECK_INVARIANTS, ENV_METRICS_OUT, ENV_REPORT
     from repro.obs.telemetry import ENV_TELEMETRY_OUT
 
@@ -513,6 +608,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ENV_FAULTS,
             ENV_TELEMETRY_OUT,
             ENV_REPORT,
+            ENV_METRICS_PORT,
         )
     }
     if args.check_invariants:
@@ -527,11 +623,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.environ[ENV_FAULTS] = str(args.inject_faults)
     if args.report:
         os.environ[ENV_REPORT] = "1"
+    if args.metrics_port is not None:
+        os.environ[ENV_METRICS_PORT] = str(args.metrics_port)
     try:
         if args.experiment == "campaign":
             if args.telemetry_out:
                 os.environ[ENV_TELEMETRY_OUT] = args.telemetry_out
             return _run_campaign(args)
+        from repro.obs.bus import RunLog
+
+        # Diagnostic chatter routes through the structured log (text mode
+        # prints the historical lines verbatim); the experiment's result
+        # block itself is the deliverable and always prints as-is.
+        runlog = RunLog("cli", stream=sys.stdout)
         for name in names:
             runner, desc = EXPERIMENTS[name]
             if args.metrics_out:
@@ -542,11 +646,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 os.environ[ENV_TELEMETRY_OUT] = _telemetry_dir(
                     args.telemetry_out, name, multi=len(names) > 1
                 )
-            print(f"=== {desc} ===")
+            runlog.emit(
+                "experiment.start", message=f"=== {desc} ===",
+                experiment=name, seed=args.seed,
+            )
             t0 = time.perf_counter()
             text = runner(args.seed, scale)
             print(text)
-            print(f"[{name}: {time.perf_counter() - t0:.1f}s]\n")
+            elapsed = time.perf_counter() - t0
+            runlog.emit(
+                "experiment.done", message=f"[{name}: {elapsed:.1f}s]\n",
+                experiment=name, elapsed_s=round(elapsed, 3),
+            )
             if sink is not None:
                 sink.write(f"=== {desc} ===\n{text}\n\n")
     finally:

@@ -50,6 +50,8 @@ from repro.faults import (
     checkpoint_path_from_env,
     on_error_from_env,
 )
+from repro.obs.bus import open_bus
+from repro.obs.httpd import maybe_obs_server
 from repro.obs.spans import maybe_tracer, span
 from repro.sim.engine import Simulator
 from repro.sim.queues import make_queue
@@ -374,12 +376,18 @@ def run_zoo(
     ckpt: Optional[Checkpoint] = None
     records: dict[int, dict] = {}
     ckpt_path = checkpoint_path_from_env("zoo")
+    bus = server = None
     if ckpt_path is not None:
         ckpt = Checkpoint(ckpt_path, meta={
             "kind": "zoo", "seed": seed, "scale": sc.name,
             "n": len(cells_spec),
         })
         records = ckpt.load()
+        # The checkpoint directory doubles as the grid's observable state
+        # directory: the event bus and the opt-in /metrics endpoint live
+        # next to zoo.jsonl, so `repro top` works on zoo runs too.
+        bus = open_bus(ckpt_path.parent, source="zoo")
+        server = maybe_obs_server(ckpt_path.parent)
     resumed = len(records)
 
     todo_idx = [i for i in range(len(cells_spec)) if i not in records]
@@ -391,14 +399,26 @@ def run_zoo(
     on_error = on_error_from_env()
     failed: list[str] = []
 
+    def cell_label(idx: int) -> str:
+        rtt_name, _, protocol, aqm = cells_spec[idx]
+        return f"{protocol}/{aqm}/{rtt_name}"
+
     def note(res: Result) -> None:
-        if not res.ok:
-            return
         idx = todo_idx[res.index]
+        if not res.ok:
+            if bus is not None:
+                bus.emit("cell.failed", i=idx, cell=cell_label(idx),
+                         error=res.error_text)
+            return
         records[idx] = res.value
         if ckpt is not None:
             ckpt.append(idx, res.value)
+        if bus is not None:
+            bus.emit("cell.done", i=idx, cell=cell_label(idx))
 
+    if bus is not None:
+        bus.emit("zoo.start", n=len(cells_spec), seed=seed, scale=sc.name,
+                 resumed=resumed, pending=len(todo_idx))
     try:
         out = parallel_map(
             _zoo_worker, items,
@@ -407,6 +427,10 @@ def run_zoo(
     finally:
         if ckpt is not None:
             ckpt.close()
+        if bus is not None:
+            bus.close()
+        if server is not None:
+            server.close()
 
     if on_error == "raise":
         # Raw records come back; on_result already filed them, but a

@@ -57,6 +57,7 @@ from repro.internet.shards import (
     reduce_shards,
     run_shard,
 )
+from repro.obs.bus import open_bus, read_json_tolerant
 from repro.obs.metrics import atomic_write_text
 
 __all__ = [
@@ -341,11 +342,17 @@ class CampaignSupervisor:
         self.config = config or SupervisorConfig()
         self.fault_plan = fault_plan
         self.tracer = tracer
+        self.bus = None  # opened per run(); lazy, so no files until an emit
+        self.torn_heartbeats = 0
 
     # -- tracing ---------------------------------------------------------
     def _event(self, name: str, **attrs) -> None:
+        """One supervision event, mirrored to the span tracer (when
+        tracing is armed) and the state-dir bus (while a run is live)."""
         if self.tracer is not None:
             self.tracer.event(name, **attrs)
+        if self.bus is not None:
+            self.bus.emit(name, **attrs)
 
     # -- durable state ---------------------------------------------------
     def _ledger(self) -> Checkpoint:
@@ -379,12 +386,11 @@ class CampaignSupervisor:
         return result
 
     def _read_heartbeat(self, shard_id: int) -> Optional[dict]:
-        try:
-            return json.loads(
-                _heartbeat_path(self.state_dir, shard_id).read_text()
-            )
-        except (OSError, ValueError):
-            return None  # not written yet, or torn mid-replace
+        # Heartbeat writes are atomic-replace but unfsynced: a tear is an
+        # expected input, so it is skipped and *counted*, never raised.
+        hb, torn = read_json_tolerant(_heartbeat_path(self.state_dir, shard_id))
+        self.torn_heartbeats += torn
+        return hb
 
     def _read_error(self, shard_id: int) -> str:
         try:
@@ -411,6 +417,7 @@ class CampaignSupervisor:
                 f"pass resume=True or use a fresh directory"
             )
         self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.bus = open_bus(self.state_dir, source="supervisor")
 
         ledger = self._ledger()
         prior = ledger.load() if resume else {}
@@ -443,6 +450,12 @@ class CampaignSupervisor:
                 continue
             pending.append(spec)
 
+        self._event(
+            "campaign.start",
+            seed=self.seed, n_sites=self.n_sites, n_paths=self.total_paths,
+            n_shards=self.n_shards, workers=self.config.workers,
+            resumed=resumed, pending=len(pending),
+        )
         try:
             if self.config.workers == 0:
                 self._run_serial(pending, ledger, results, fates, quarantined)
@@ -487,7 +500,11 @@ class CampaignSupervisor:
             shards_done=len(results),
             shards_quarantined=len(quarantined),
             lost_paths=result.lost_paths(),
+            torn_heartbeats=self.torn_heartbeats,
         )
+        if self.bus is not None:
+            self.bus.close()
+            self.bus = None
         return result
 
     # -- outcome bookkeeping (shared by both executors) ------------------
@@ -603,6 +620,13 @@ class CampaignSupervisor:
         if done > state.last_done:
             state.last_done = done
             state.last_advance = time.monotonic()
+            # Progress is bus-only (throttled by the heartbeat interval):
+            # span traces record decisions, the bus records liveness too.
+            if self.bus is not None:
+                self.bus.emit(
+                    "shard.progress", shard=state.spec.shard_id,
+                    done=done, attempt=state.attempt,
+                )
         skew = abs(float(hb.get("wall", 0.0)) - time.time())
         if skew > self.config.skew_tolerance and not state.skew_flagged:
             state.skew_flagged = True

@@ -30,11 +30,34 @@ counters the simulator already keeps into an active regression fence:
     run directory — ``python -m repro report <run-dir>``
     (:mod:`repro.obs.report`).
 
+``EventBus`` / ``RunLog``
+    Fleet event stream: one append-only, schema-versioned JSON-lines
+    feed per campaign/zoo state directory, with torn-tail-tolerant
+    tailing and structured ``--log-json`` logging (:mod:`repro.obs.bus`).
+``FleetAggregator`` / ``FleetSnapshot``
+    Streaming aggregation of a state directory (ledger + heartbeats +
+    bus) into a live fleet snapshot — what ``python -m repro top``
+    renders and ``/snapshot.json`` serves (:mod:`repro.obs.aggregate`).
+``ObsServer`` / ``MetricsRegistry.to_prometheus``
+    Opt-in Prometheus text exposition over stdlib HTTP during fleet
+    runs — the CLI's ``--metrics-port`` (:mod:`repro.obs.httpd`).
+
 :mod:`repro.obs.runtime` wires everything into experiment drivers and the
 ``repro`` CLI (``--metrics-out`` / ``--check-invariants`` /
 ``--telemetry-out`` / ``--report``).
 """
 
+from repro.obs.aggregate import FleetAggregator, FleetSnapshot, UnitHealth
+from repro.obs.bus import (
+    EventBus,
+    RunLog,
+    TailState,
+    log_mode,
+    open_bus,
+    read_json_tolerant,
+    tail_jsonl,
+)
+from repro.obs.httpd import ObsServer, snapshot_to_prometheus
 from repro.obs.invariants import (
     FlowBinding,
     InvariantChecker,
@@ -76,7 +99,10 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "Counter",
+    "EventBus",
     "EventLoopProfile",
+    "FleetAggregator",
+    "FleetSnapshot",
     "FlightLog",
     "FlightRecorder",
     "FlowBinding",
@@ -85,23 +111,32 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "MetricsRegistry",
+    "ObsServer",
     "ReportError",
+    "RunLog",
     "RunObservation",
     "SpanTracer",
+    "TailState",
     "TimeSeries",
+    "UnitHealth",
     "atomic_write_text",
     "check_link",
     "check_queue",
     "generate_html_report",
     "generate_report",
+    "log_mode",
     "loss_raster",
     "maybe_tracer",
     "observation_config",
     "observe_run",
+    "open_bus",
     "open_flight_log",
+    "read_json_tolerant",
     "report_enabled",
+    "snapshot_to_prometheus",
     "span",
     "sparkline",
+    "tail_jsonl",
     "telemetry_config",
     "validate_report",
     "write_report",

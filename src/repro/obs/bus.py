@@ -1,0 +1,262 @@
+"""Unified fleet event bus: one ordered JSON-lines feed per state-dir.
+
+A long-running campaign already scatters its observable state across a
+shard ledger, heartbeat files, span JSON-lines, and ad-hoc stderr
+prints.  The bus merges the *event-shaped* part of that into a single
+append-only ``events.jsonl`` inside the state directory:
+
+* **Schema-versioned records** — every record carries ``v`` (the bus
+  schema version), ``kind`` (dotted event name: ``shard.done``,
+  ``worker.hang``, ``log``), ``src`` (which component emitted it),
+  ``seq`` (per-writer sequence) and ``wall`` (emission wall clock).
+* **Atomic appends** — each record is one ``os.write`` to an
+  ``O_APPEND`` descriptor, so concurrent writers (the supervisor parent
+  plus its shard workers) interleave whole records, never bytes.  The
+  feed's order is the kernel's append order.
+* **Torn-tail-tolerant tailing** — :func:`tail_jsonl` consumes only
+  newline-terminated records and leaves an unterminated tail *pending*
+  (it will be re-read once the writer finishes it); a *complete* line
+  that fails to decode is skipped and counted instead of raising, per
+  the fleet rule that readers of unfsynced telemetry never crash on a
+  tear (:class:`TailState` accumulates the ``torn`` counter the
+  snapshot surfaces).
+
+The bus is observability, not state: nothing resumes from it, and
+deleting it loses nothing but history.  Durable truth stays in the
+fsynced shard ledger (:mod:`repro.faults.checkpoint`).
+
+:class:`RunLog` is the structured-logging half: subcommands route their
+diagnostic prints through it, and ``--log-json`` (or ``REPRO_LOG=json``)
+switches the emission format from the historical human text to one JSON
+record per line — mirrored onto the bus when one is attached, so a
+campaign's stderr chatter and its fleet feed are the same records.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional, Union
+
+__all__ = [
+    "BUS_FILE",
+    "BUS_VERSION",
+    "ENV_LOG",
+    "EventBus",
+    "RunLog",
+    "TailState",
+    "log_mode",
+    "open_bus",
+    "read_json_tolerant",
+    "tail_jsonl",
+]
+
+#: Bus file name inside a campaign/zoo state directory.
+BUS_FILE = "events.jsonl"
+
+#: Schema version stamped into every record (bump on breaking changes;
+#: readers skip-and-count versions they do not understand).
+BUS_VERSION = 1
+
+#: Environment knob selecting the log emission format: ``json`` for one
+#: structured record per line (the CLI's ``--log-json``), anything else
+#: (or unset) for the historical human text.
+ENV_LOG = "REPRO_LOG"
+
+
+def log_mode() -> str:
+    """The active log format: ``"json"`` or ``"text"``."""
+    return "json" if os.environ.get(ENV_LOG, "").strip().lower() == "json" else "text"
+
+
+class EventBus:
+    """Append-only writer of one state-dir's ``events.jsonl`` feed.
+
+    The descriptor is opened lazily (``O_APPEND``) on first emit, so
+    constructing a bus never creates files — a supervisor can carry one
+    unconditionally and only a run that actually emits leaves a feed
+    behind.  Safe for concurrent use from multiple processes: every
+    record is a single ``write(2)`` of a complete line.
+    """
+
+    def __init__(self, state_dir: Union[str, Path], source: str = "supervisor"):
+        self.path = Path(state_dir) / BUS_FILE
+        self.source = str(source)
+        self._fd: Optional[int] = None
+        self._seq = 0
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event record; returns the record as written."""
+        self._seq += 1
+        rec = {
+            "v": BUS_VERSION,
+            "kind": str(kind),
+            "src": self.source,
+            "seq": self._seq,
+            "wall": time.time(),
+        }
+        rec.update(fields)
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        line = json.dumps(rec, sort_keys=True, separators=(",", ":")) + "\n"
+        # One write of one whole line: concurrent emitters (parent +
+        # workers) interleave records, never partial bytes.
+        os.write(self._fd, line.encode("utf-8"))
+        return rec
+
+    def close(self) -> None:
+        """Release the append descriptor (safe to call repeatedly)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventBus {self.path} src={self.source} seq={self._seq}>"
+
+
+def open_bus(
+    state_dir: Optional[Union[str, Path]], source: str = "supervisor"
+) -> Optional[EventBus]:
+    """An :class:`EventBus` for ``state_dir``, or ``None`` without one."""
+    if state_dir is None:
+        return None
+    return EventBus(state_dir, source=source)
+
+
+@dataclass
+class TailState:
+    """Cursor + damage counter for one incrementally tailed JSONL file.
+
+    ``offset`` is the byte position of the next unread record;
+    ``torn`` counts complete-but-undecodable lines skipped so far.  A
+    shrinking file (rotation — never expected here) resets the cursor.
+    """
+
+    offset: int = 0
+    torn: int = 0
+
+
+def tail_jsonl(
+    path: Union[str, Path], state: Optional[TailState] = None
+) -> tuple[list[dict], TailState]:
+    """Read every *complete* new record since ``state``; O(new bytes).
+
+    Only newline-terminated lines are consumed: a torn tail (a write
+    still in flight, or one lost to a crash) stays pending and is
+    re-examined next poll, so a concurrent reader only ever observes
+    whole records.  Complete lines that fail to decode as JSON objects
+    are skipped and counted in ``state.torn`` instead of raising.
+    """
+    st = state or TailState()
+    p = Path(path)
+    try:
+        size = p.stat().st_size
+    except OSError:
+        return [], st
+    if size < st.offset:  # truncated/replaced underneath us: start over
+        st.offset = 0
+    if size == st.offset:
+        return [], st
+    with p.open("rb") as fh:
+        fh.seek(st.offset)
+        chunk = fh.read(size - st.offset)
+    keep = chunk.rfind(b"\n") + 1
+    if keep == 0:  # nothing newline-terminated yet
+        return [], st
+    records: list[dict] = []
+    for raw in chunk[:keep].split(b"\n")[:-1]:
+        if not raw:
+            continue
+        try:
+            obj = json.loads(raw)
+        except ValueError:
+            st.torn += 1
+            continue
+        if isinstance(obj, dict):
+            records.append(obj)
+        else:
+            st.torn += 1
+    st.offset += keep
+    return records, st
+
+
+def read_json_tolerant(path: Union[str, Path]) -> tuple[Optional[dict], int]:
+    """One whole-file JSON read that treats damage as data.
+
+    Heartbeat files are atomic-replace but deliberately unfsynced, so a
+    crash (or a reader racing the replace on a non-atomic filesystem)
+    can expose a missing or partial file.  Returns ``(record, torn)``:
+    ``(None, 0)`` when the file simply does not exist, ``(None, 1)``
+    when it exists but does not parse to a JSON object.
+    """
+    try:
+        raw = Path(path).read_text()
+    except OSError:
+        return None, 0
+    try:
+        obj = json.loads(raw)
+    except ValueError:
+        return None, 1
+    if not isinstance(obj, dict):
+        return None, 1
+    return obj, 0
+
+
+@dataclass
+class RunLog:
+    """Structured diagnostics for one subcommand run.
+
+    ``emit(event, message, **fields)`` prints ``message`` verbatim in
+    text mode (bit-compatible with the historical ad-hoc prints) or a
+    single JSON record in json mode, and mirrors the record onto the
+    attached bus either way.  ``stream=None`` suppresses printing
+    entirely (bus-only logging).
+    """
+
+    component: str
+    bus: Optional[EventBus] = None
+    stream: Optional[IO[str]] = field(default_factory=lambda: sys.stderr)
+    mode: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode is None:
+            self.mode = log_mode()
+
+    @property
+    def json_mode(self) -> bool:
+        """True when emitting JSON records instead of human text."""
+        return self.mode == "json"
+
+    def emit(self, event: str, message: Optional[str] = None, **fields) -> dict:
+        """Log one event; returns the structured record."""
+        rec = {"event": f"{self.component}.{event}", **fields}
+        if self.bus is not None:
+            self.bus.emit("log", **rec)
+        if self.stream is not None:
+            if self.json_mode:
+                out = dict(rec)
+                out["wall"] = time.time()
+                if message is not None:
+                    out["message"] = message
+                print(json.dumps(out, sort_keys=True), file=self.stream)
+            elif message is not None:
+                print(message, file=self.stream)
+            else:
+                kv = " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+                print(f"[{self.component}.{event}] {kv}".rstrip(),
+                      file=self.stream)
+            self.stream.flush()
+        return rec

@@ -1,0 +1,315 @@
+"""``python -m repro history`` — cross-run health timeline.
+
+One benchmark file or run report tells you how the code behaves *today*;
+the repository's health is a trajectory.  This module folds everything
+recorded under a root directory into one chronological Markdown (or
+HTML) timeline:
+
+* the ``BENCH_<n>.json`` trajectory (:mod:`repro.bench`): per-stage
+  speedups across files, the newest file's margin against the
+  ``REGRESSION_FLOOR`` gate, and each file's platform stamp;
+* run directories under ``runs/`` (``manifest.json`` + optional
+  ``metrics.json`` / report artifacts): what ran, with which knobs,
+  whether a report was rendered, plus any metric warnings;
+* campaign/zoo state directories found under the root: each one's
+  :class:`~repro.obs.aggregate.FleetSnapshot` verdict, with DEGRADED
+  runs (quarantined shards, lost paths) called out in their own log.
+
+Reading is tolerant by the fleet rule: damaged or partial JSON files
+are skipped and *counted* (reported in the footer), never raised —
+history must render even when one run crashed mid-write.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.bench import REGRESSION_FLOOR
+from repro.obs.aggregate import FleetAggregator
+
+__all__ = ["collect_history", "generate_history", "generate_html_history",
+           "main"]
+
+
+def _load_json(path: Path, torn: list[int]) -> Optional[dict]:
+    try:
+        obj = json.loads(path.read_text())
+    except OSError:
+        return None
+    except ValueError:
+        torn[0] += 1
+        return None
+    if not isinstance(obj, dict):
+        torn[0] += 1
+        return None
+    return obj
+
+
+def collect_history(root: Union[str, Path]) -> dict:
+    """Scan ``root`` and return the raw history model (JSON-able)."""
+    d = Path(root)
+    torn = [0]
+
+    # -- bench trajectory ------------------------------------------------
+    bench_files = []
+    indexed = []
+    for p in d.glob("BENCH_*.json"):
+        stem = p.stem.removeprefix("BENCH_")
+        if stem.isdigit():
+            indexed.append((int(stem), p))
+    for idx, p in sorted(indexed):
+        doc = _load_json(p, torn)
+        if doc is None:
+            continue
+        stages = {}
+        for name, entry in sorted(doc.get("benchmarks", {}).items()):
+            if isinstance(entry, dict):
+                stages[name] = {
+                    k: entry.get(k)
+                    for k in ("speedup", "optimized", "unit")
+                    if entry.get(k) is not None
+                }
+        bench_files.append({
+            "index": idx,
+            "file": p.name,
+            "mode": doc.get("mode"),
+            "python": doc.get("python"),
+            "platform": doc.get("platform"),
+            "stages": stages,
+        })
+
+    # Gate margins: newest file's speedup vs floor * previous file's.
+    margins = []
+    if len(bench_files) >= 2:
+        prev, new = bench_files[-2], bench_files[-1]
+        for name, entry in sorted(new["stages"].items()):
+            a = prev["stages"].get(name, {}).get("speedup")
+            b = entry.get("speedup")
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                    and a > 0:
+                margins.append({
+                    "stage": name,
+                    "prev": a,
+                    "new": b,
+                    "floor": round(REGRESSION_FLOOR * a, 3),
+                    "margin": round(b / (REGRESSION_FLOOR * a), 3),
+                    "ok": b >= REGRESSION_FLOOR * a,
+                })
+
+    # -- recorded runs under runs/ ---------------------------------------
+    run_entries = []
+    runs_dir = d / "runs"
+    if runs_dir.is_dir():
+        for sub in sorted(runs_dir.iterdir()):
+            manifest_path = sub / "manifest.json"
+            if not sub.is_dir() or not manifest_path.exists():
+                continue
+            manifest = _load_json(manifest_path, torn) or {}
+            metrics = _load_json(sub / "metrics.json", torn)
+            warnings = []
+            if metrics:
+                w = metrics.get("warnings")
+                if isinstance(w, list):
+                    warnings = [str(x) for x in w]
+            run_entries.append({
+                "run": sub.name,
+                "name": manifest.get("name", sub.name),
+                "seed": manifest.get("seed"),
+                "duration": manifest.get("duration"),
+                "env": manifest.get("env", {}),
+                "report": (sub / "report.md").exists(),
+                "html": (sub / "report.html").exists(),
+                "warnings": warnings,
+            })
+
+    # -- fleet state directories -----------------------------------------
+    fleets = []
+    seen_ledgers = set()
+    for pattern in ("shards.jsonl", "zoo.jsonl"):
+        for ledger in sorted(d.rglob(pattern)):
+            state_dir = ledger.parent
+            if state_dir in seen_ledgers:
+                continue
+            seen_ledgers.add(state_dir)
+            snap = FleetAggregator(state_dir).poll(now=None)
+            torn[0] += snap.torn_records
+            fleets.append({
+                "state_dir": str(state_dir.relative_to(d)),
+                "kind": snap.kind,
+                "status": snap.status,
+                "counts": snap.counts,
+                "paths_done": snap.paths_done,
+                "paths_total": snap.paths_total,
+                "retries": snap.retries,
+                "quarantined": [
+                    u.to_dict()
+                    for u in snap.units.values()
+                    if u.status in ("quarantined", "failed")
+                ],
+            })
+
+    return {
+        "root": str(d),
+        "bench": bench_files,
+        "gate": {"floor": REGRESSION_FLOOR, "margins": margins},
+        "runs": run_entries,
+        "fleets": fleets,
+        "torn_records": torn[0],
+    }
+
+
+def generate_history(root: Union[str, Path]) -> str:
+    """The cross-run health timeline as Markdown."""
+    model = collect_history(root)
+    out: list[str] = [f"# repro health timeline — `{model['root']}`", ""]
+
+    bench = model["bench"]
+    out.append(f"## Benchmark trajectory ({len(bench)} files)")
+    out.append("")
+    if bench:
+        stages = sorted({s for b in bench for s in b["stages"]})
+        speedup_stages = [
+            s for s in stages
+            if any("speedup" in b["stages"].get(s, {}) for b in bench)
+        ]
+        header = "| file | mode | " + " | ".join(speedup_stages) + " |"
+        out.append(header)
+        out.append("|" + "---|" * (2 + len(speedup_stages)))
+        for b in bench:
+            cells = []
+            for s in speedup_stages:
+                v = b["stages"].get(s, {}).get("speedup")
+                cells.append(f"{v:.2f}x" if isinstance(v, (int, float))
+                             else "-")
+            out.append(
+                f"| {b['file']} | {b['mode']} | " + " | ".join(cells) + " |"
+            )
+        out.append("")
+    else:
+        out.append("_no BENCH_<n>.json files found_")
+        out.append("")
+
+    gate = model["gate"]
+    out.append(f"## Regression gate (floor {gate['floor']:.2f}x)")
+    out.append("")
+    if gate["margins"]:
+        out.append("| stage | prev | new | floor | margin | verdict |")
+        out.append("|---|---|---|---|---|---|")
+        for m in gate["margins"]:
+            verdict = "ok" if m["ok"] else "**REGRESSION**"
+            out.append(
+                f"| {m['stage']} | {m['prev']:.2f}x | {m['new']:.2f}x | "
+                f"{m['floor']:.2f}x | {m['margin']:.2f} | {verdict} |"
+            )
+    else:
+        out.append("_fewer than two bench files — gate idle_")
+    out.append("")
+
+    runs = model["runs"]
+    out.append(f"## Recorded runs ({len(runs)})")
+    out.append("")
+    if runs:
+        out.append("| run | experiment | seed | duration | report | warnings |")
+        out.append("|---|---|---|---|---|---|")
+        for r in runs:
+            report = "md+html" if r["html"] else ("md" if r["report"] else "-")
+            dur = r["duration"]
+            dur_s = f"{dur}s" if dur is not None else "-"
+            out.append(
+                f"| {r['run']} | {r['name']} | {r['seed']} | {dur_s} | "
+                f"{report} | {len(r['warnings'])} |"
+            )
+    else:
+        out.append("_no run directories under runs/_")
+    out.append("")
+
+    fleets = model["fleets"]
+    out.append(f"## Fleet runs ({len(fleets)})")
+    out.append("")
+    degraded = [f for f in fleets if f["status"] == "DEGRADED"]
+    if fleets:
+        out.append("| state dir | kind | status | done | retries |")
+        out.append("|---|---|---|---|---|")
+        for f in fleets:
+            status = (f"**{f['status']}**" if f["status"] == "DEGRADED"
+                      else f["status"])
+            out.append(
+                f"| {f['state_dir']} | {f['kind']} | {status} | "
+                f"{f['paths_done']}/{f['paths_total']} | {f['retries']} |"
+            )
+        out.append("")
+    else:
+        out.append("_no campaign/zoo state directories under the root_")
+        out.append("")
+    if degraded:
+        out.append("### DEGRADED-run log")
+        out.append("")
+        for f in degraded:
+            out.append(f"- `{f['state_dir']}`:")
+            for u in f["quarantined"]:
+                err = f" — {u['error']}" if u["error"] else ""
+                out.append(
+                    f"  - {f['kind']} unit {u['id']} {u['status']} after "
+                    f"{u['attempts']} attempts{err}"
+                )
+        out.append("")
+
+    out.append(
+        f"_torn/unreadable records skipped while reading: "
+        f"{model['torn_records']}_"
+    )
+    return "\n".join(out) + "\n"
+
+
+def generate_html_history(root: Union[str, Path]) -> str:
+    """The timeline as a standalone HTML page (Markdown in ``<pre>``)."""
+    md = generate_history(root)
+    title = _html.escape(f"repro health timeline — {root}")
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>{title}</title></head><body>"
+        f"<h1>{title}</h1>"
+        "<pre>" + _html.escape(md) + "</pre>"
+        "</body></html>\n"
+    )
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point behind ``python -m repro history``."""
+    import argparse
+
+    from repro.obs.metrics import atomic_write_text
+
+    p = argparse.ArgumentParser(
+        prog="repro history",
+        description="Fold BENCH_*.json + runs/ + fleet state dirs into a "
+        "cross-run health timeline.",
+    )
+    p.add_argument("root", nargs="?", default=".",
+                   help="directory holding BENCH_*.json and runs/ "
+                   "(default .)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="also write the Markdown timeline to PATH")
+    p.add_argument("--html", action="store_true",
+                   help="with --out: write an HTML page next to it")
+    args = p.parse_args(argv)
+
+    md = generate_history(args.root)
+    print(md, end="")
+    if args.out:
+        out = Path(args.out)
+        atomic_write_text(out, md)
+        if args.html:
+            atomic_write_text(
+                out.with_suffix(".html"), generate_html_history(args.root)
+            )
+        print(f"[history written to {out}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

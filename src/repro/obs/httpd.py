@@ -1,0 +1,216 @@
+"""Opt-in metrics endpoint: ``/metrics`` + ``/snapshot.json`` over stdlib HTTP.
+
+``--metrics-port N`` on the campaign/zoo commands starts one
+:class:`ObsServer` in a daemon thread for the duration of the run.  It
+serves:
+
+* ``GET /metrics`` — Prometheus text exposition 0.0.4
+  (:meth:`repro.obs.metrics.MetricsRegistry.to_prometheus` over the
+  run's registry, when one is attached) followed by fleet-level gauges
+  derived from the live :class:`~repro.obs.aggregate.FleetSnapshot`;
+* ``GET /snapshot.json`` — the full snapshot as JSON (what ``repro
+  top`` renders), for the results service and ad-hoc curl debugging.
+
+Port ``0`` asks the kernel for a free port; whatever port is bound is
+written to ``metrics-port`` inside the state directory so an outside
+observer (the top-smoke lane, a dashboard) can discover the endpoint
+without racing the bind.  Everything is stdlib ``http.server`` — no new
+dependencies — and the server thread never blocks or fails the run:
+scrape-side errors are answered with 500s, not raised into the
+campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.aggregate import FleetAggregator, FleetSnapshot
+from repro.obs.metrics import prometheus_metric_name
+
+__all__ = [
+    "ENV_METRICS_PORT",
+    "ObsServer",
+    "PORT_FILE",
+    "maybe_obs_server",
+    "metrics_port_from_env",
+    "snapshot_to_prometheus",
+]
+
+#: File inside the state directory naming the bound metrics port.
+PORT_FILE = "metrics-port"
+
+#: Environment knob (the CLI's ``--metrics-port``): an integer port to
+#: serve ``/metrics`` on during campaign/zoo runs; ``0`` = auto-assign
+#: (read the bound port back from the ``metrics-port`` file).  Unset or
+#: empty: no server.
+ENV_METRICS_PORT = "REPRO_METRICS_PORT"
+
+_STATUS_CODES = {"EMPTY": 0, "RUNNING": 1, "COMPLETE": 2, "DEGRADED": 3}
+
+
+def snapshot_to_prometheus(snap: FleetSnapshot, prefix: str = "repro") -> str:
+    """Fleet-level gauges for one snapshot, Prometheus text format."""
+    lines: list[str] = []
+
+    def gauge(name: str, value, labels: str = "") -> None:
+        full = prometheus_metric_name(name, prefix=f"{prefix}_fleet")
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full}{labels} {value}")
+
+    counts = snap.counts
+    unit = snap.unit_name
+    units_metric = prometheus_metric_name("units", prefix=f"{prefix}_fleet")
+    lines.append(f"# TYPE {units_metric} gauge")
+    for status in sorted(counts):
+        lines.append(
+            f'{units_metric}{{status="{status}",unit="{unit}"}} '
+            f"{counts[status]}"
+        )
+    gauge("paths_total", snap.paths_total)
+    gauge("paths_done", snap.paths_done)
+    gauge("retries", snap.retries)
+    gauge("torn_records", snap.torn_records)
+    gauge("status", _STATUS_CODES.get(snap.status, 0))
+    if snap.rate is not None:
+        gauge("paths_per_second", repr(float(snap.rate)))
+    if snap.eta_s is not None:
+        gauge("eta_seconds", repr(float(snap.eta_s)))
+    return "\n".join(lines) + "\n"
+
+
+class ObsServer:
+    """Background HTTP exposition for one run's state directory.
+
+    ``registry`` is optional: without one, ``/metrics`` carries only the
+    fleet gauges.  The handler re-polls a private
+    :class:`FleetAggregator` per request (incremental, O(new bytes)), so
+    scrapes always see the latest appended records without the run
+    pushing anything.
+    """
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        port: int = 0,
+        registry=None,
+        host: str = "127.0.0.1",
+    ):
+        self.state_dir = Path(state_dir)
+        self.registry = registry
+        self._agg = FleetAggregator(self.state_dir)
+        self._lock = threading.Lock()
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # quiet: no stderr spam
+                pass
+
+            def _send(self, code: int, body: bytes, ctype: str) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                try:
+                    path = self.path.split("?", 1)[0]
+                    if path == "/metrics":
+                        body = server.render_metrics().encode("utf-8")
+                        self._send(
+                            200, body,
+                            "text/plain; version=0.0.4; charset=utf-8",
+                        )
+                    elif path in ("/snapshot.json", "/snapshot"):
+                        body = json.dumps(
+                            server.snapshot().to_dict(), sort_keys=True
+                        ).encode("utf-8")
+                        self._send(200, body, "application/json")
+                    else:
+                        self._send(404, b"not found\n", "text/plain")
+                except BrokenPipeError:  # scraper went away mid-reply
+                    pass
+                except Exception as exc:  # noqa: BLE001 - never kill the run
+                    try:
+                        self._send(
+                            500, f"error: {exc}\n".encode(), "text/plain"
+                        )
+                    except OSError:
+                        pass
+
+        self._httpd = ThreadingHTTPServer((host, int(port)), Handler)
+        self._httpd.daemon_threads = True
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-httpd",
+            daemon=True,
+        )
+
+    # -- payloads --------------------------------------------------------
+    def snapshot(self) -> FleetSnapshot:
+        """The current fleet snapshot (incremental poll, thread-safe)."""
+        with self._lock:
+            return self._agg.poll(now=time.time())
+
+    def render_metrics(self) -> str:
+        """The full ``/metrics`` body: registry metrics + fleet gauges."""
+        parts = []
+        if self.registry is not None:
+            parts.append(self.registry.to_prometheus())
+        parts.append(snapshot_to_prometheus(self.snapshot()))
+        return "".join(parts)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "ObsServer":
+        """Bind announced: write the port file, start serving."""
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        (self.state_dir / PORT_FILE).write_text(f"{self.port}\n")
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and remove the port-file advertisement."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        try:
+            (self.state_dir / PORT_FILE).unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def metrics_port_from_env() -> Optional[int]:
+    """``$REPRO_METRICS_PORT`` as an int, or ``None`` when unset/empty."""
+    raw = os.environ.get(ENV_METRICS_PORT, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def maybe_obs_server(
+    state_dir: Optional[Union[str, Path]], registry=None
+) -> Optional[ObsServer]:
+    """Start an :class:`ObsServer` when the env knob asks for one.
+
+    Returns the started server (caller closes it), or ``None`` when the
+    knob is unset or there is no state directory to aggregate.
+    """
+    port = metrics_port_from_env()
+    if port is None or state_dir is None:
+        return None
+    return ObsServer(state_dir, port=port, registry=registry).start()

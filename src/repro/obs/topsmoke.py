@@ -1,0 +1,177 @@
+"""Fleet-observability smoke test (the ``make top-smoke`` target).
+
+Launches a seeded mini-campaign as a real child process with
+``--metrics-port 0``, then exercises the whole observability surface
+from the outside, the way an operator would::
+
+    PYTHONPATH=src python -m repro.obs.topsmoke
+
+Legs exercised:
+
+1. **Live scrape** — while the campaign is still running, discover the
+   auto-assigned port from the ``metrics-port`` file and scrape
+   ``/metrics`` (Prometheus 0.0.4 text with fleet gauges) and
+   ``/snapshot.json`` off the live supervisor.
+2. **Clean finish** — the child exits 0, the port-file advertisement is
+   withdrawn, and the state directory holds a complete bus feed
+   (``campaign.start`` through ``campaign.reduced``).
+3. **Post-mortem console** — ``repro top --once`` over the finished
+   state directory renders a COMPLETE snapshot with zero torn records
+   and every path accounted for.
+4. **Budget** — the whole smoke fits an explicit wall-clock budget.
+
+Exits nonzero (an ``AssertionError``) on any failure.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.obs.aggregate import FleetAggregator
+from repro.obs.console import run_top
+from repro.obs.httpd import PORT_FILE
+
+SEED = 2006
+SITES = 30
+SHARDS = 8
+PATHS = 400
+WALL_BUDGET_S = 120.0
+
+#: How long leg 1 waits for the child to advertise its bound port.
+PORT_WAIT_S = 60.0
+
+
+def _spawn_campaign(state_dir: Path) -> subprocess.Popen:
+    src = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+                      if p]
+    )
+    cmd = [
+        sys.executable, "-m", "repro", "campaign",
+        "--sites", str(SITES),
+        "--shards", str(SHARDS),
+        "--paths", str(PATHS),
+        "--seed", str(SEED),
+        "--state-dir", str(state_dir),
+        "--metrics-port", "0",
+    ]
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _get(port: int, path: str) -> bytes:
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=10
+    ) as resp:
+        assert resp.status == 200, f"GET {path}: HTTP {resp.status}"
+        return resp.read()
+
+
+def check_live_scrape(state_dir: Path, child: subprocess.Popen) -> int:
+    """Leg 1: discover the advertised port and scrape the live run."""
+    port_file = state_dir / PORT_FILE
+    deadline = time.monotonic() + PORT_WAIT_S
+    while time.monotonic() < deadline:
+        if port_file.exists() or child.poll() is not None:
+            break
+        time.sleep(0.01)
+    assert port_file.exists(), (
+        "campaign never advertised a metrics port"
+        + (f" (child exited {child.returncode})"
+           if child.poll() is not None else "")
+    )
+    port = int(port_file.read_text())
+
+    metrics = _get(port, "/metrics").decode()
+    assert "repro_fleet_paths_total" in metrics, metrics[:400]
+    assert 'unit="shard"' in metrics, metrics[:400]
+    # Keep scraping the live endpoint until the supervisor has written
+    # its ledger meta line (a fresh campaign starts as "unknown").
+    snap = json.loads(_get(port, "/snapshot.json"))
+    while snap["kind"] != "campaign" and time.monotonic() < deadline \
+            and child.poll() is None:
+        time.sleep(0.01)
+        snap = json.loads(_get(port, "/snapshot.json"))
+    assert snap["kind"] == "campaign", snap
+    assert snap["status"] in ("RUNNING", "COMPLETE"), snap
+    assert snap["paths_total"] == PATHS, snap
+    return port
+
+
+def check_clean_finish(state_dir: Path, child: subprocess.Popen) -> None:
+    """Leg 2: child exits 0, port withdrawn, bus feed complete."""
+    try:
+        out, err = child.communicate(timeout=WALL_BUDGET_S)
+    except subprocess.TimeoutExpired:
+        child.kill()
+        raise AssertionError("campaign child exceeded the wall budget")
+    assert child.returncode == 0, f"campaign failed:\n{err}"
+    assert "[campaign:" in err, err
+    assert not (state_dir / PORT_FILE).exists(), (
+        "port file survived the campaign"
+    )
+    kinds = set()
+    for line in (state_dir / "events.jsonl").read_text().splitlines():
+        kinds.add(json.loads(line)["kind"])
+    assert "campaign.start" in kinds, kinds
+    assert "campaign.reduced" in kinds, kinds
+    assert "shard.done" in kinds, kinds
+
+
+def check_console(state_dir: Path) -> dict:
+    """Leg 3: ``repro top --once`` post-mortem + aggregator accounting."""
+    out = io.StringIO()
+    code = run_top(str(state_dir), once=True, stream=out)
+    text = out.getvalue()
+    assert code == 0, text
+    assert "COMPLETE" in text, text
+    assert f"paths {PATHS}/{PATHS} (100.0%)" in text, text
+
+    snap = FleetAggregator(state_dir).poll(now=None)
+    assert snap.status == "COMPLETE", snap.to_dict()
+    assert snap.torn_records == 0, snap.to_dict()
+    assert snap.counts["done"] == SHARDS, snap.counts
+    return snap.counts
+
+
+def main() -> int:
+    """Run every leg; print a one-line verdict per leg."""
+    t0 = time.monotonic()
+    with tempfile.TemporaryDirectory() as td:
+        state = Path(td) / "campaign"
+        child = _spawn_campaign(state)
+        try:
+            port = check_live_scrape(state, child)
+            print(f"[top-smoke] live /metrics + /snapshot.json scrape ok "
+                  f"(port {port}, mid-run)")
+            check_clean_finish(state, child)
+            print(f"[top-smoke] campaign finished clean; bus feed complete "
+                  f"({SHARDS} shards, {PATHS} paths)")
+            counts = check_console(state)
+            print(f"[top-smoke] repro top --once post-mortem ok "
+                  f"({counts['done']}/{SHARDS} shards done, 0 torn records)")
+        finally:
+            if child.poll() is None:
+                child.kill()
+    elapsed = time.monotonic() - t0
+    assert elapsed < WALL_BUDGET_S, (
+        f"smoke took {elapsed:.1f}s, budget is {WALL_BUDGET_S:.0f}s"
+    )
+    print(f"[top-smoke] all legs passed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by `make top-smoke`
+    sys.exit(main())

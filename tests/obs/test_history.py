@@ -1,0 +1,166 @@
+"""``repro history``: cross-run health timeline folding."""
+
+import json
+
+from repro.bench import REGRESSION_FLOOR
+from repro.obs.history import (
+    collect_history,
+    generate_history,
+    generate_html_history,
+    main,
+)
+
+
+def _bench_file(root, idx, speedups, mode="full"):
+    doc = {
+        "mode": mode,
+        "python": "3.x",
+        "platform": "test",
+        "benchmarks": {
+            name: {"speedup": s, "unit": "events/s"}
+            for name, s in speedups.items()
+        },
+    }
+    (root / f"BENCH_{idx}.json").write_text(json.dumps(doc))
+
+
+def _run_dir(root, name, warnings=(), report=True):
+    d = root / "runs" / name
+    d.mkdir(parents=True)
+    (d / "manifest.json").write_text(json.dumps(
+        {"name": "table1", "seed": 42, "duration": 1.5, "env": {}}
+    ))
+    if warnings:
+        (d / "metrics.json").write_text(json.dumps(
+            {"warnings": list(warnings)}
+        ))
+    if report:
+        (d / "report.md").write_text("# r\n")
+
+
+def _fleet_dir(root, name, quarantine=False):
+    d = root / name
+    d.mkdir(parents=True)
+    lines = [
+        '{"kind":"sharded-campaign","seed":1,"n_sites":2,"n_paths":4,'
+        '"n_shards":2,"duration":10.0,"version":1}',
+        '{"i":0,"record":{"status":"done","attempts":1}}',
+    ]
+    fate = (
+        '{"i":1,"record":{"status":"quarantined","attempts":3,'
+        '"error":"WorkerDied: signal SIGKILL"}}'
+        if quarantine
+        else '{"i":1,"record":{"status":"done","attempts":1}}'
+    )
+    lines.append(fate)
+    (d / "shards.jsonl").write_text("\n".join(lines) + "\n")
+
+
+class TestCollect:
+    def test_empty_root(self, tmp_path):
+        model = collect_history(tmp_path)
+        assert model["bench"] == []
+        assert model["gate"]["margins"] == []
+        assert model["runs"] == []
+        assert model["fleets"] == []
+        assert model["torn_records"] == 0
+
+    def test_bench_trajectory_sorted_numerically(self, tmp_path):
+        for idx in (0, 2, 10, 1):  # 10 after 2: numeric, not lexical
+            _bench_file(tmp_path, idx, {"event_loop": 1.0 + idx})
+        model = collect_history(tmp_path)
+        assert [b["index"] for b in model["bench"]] == [0, 1, 2, 10]
+
+    def test_gate_margins_newest_vs_previous(self, tmp_path):
+        _bench_file(tmp_path, 0, {"event_loop": 2.0, "burst_scan": 4.0})
+        _bench_file(tmp_path, 1, {"event_loop": 2.1, "burst_scan": 3.0})
+        model = collect_history(tmp_path)
+        by_stage = {m["stage"]: m for m in model["gate"]["margins"]}
+        assert by_stage["event_loop"]["ok"]  # 2.1 >= 0.95 * 2.0
+        assert not by_stage["burst_scan"]["ok"]  # 3.0 < 0.95 * 4.0
+        assert by_stage["burst_scan"]["floor"] == round(
+            REGRESSION_FLOOR * 4.0, 3
+        )
+
+    def test_torn_bench_file_skipped_and_counted(self, tmp_path):
+        _bench_file(tmp_path, 0, {"event_loop": 2.0})
+        (tmp_path / "BENCH_1.json").write_text('{"mode": "fu')
+        model = collect_history(tmp_path)
+        assert len(model["bench"]) == 1
+        assert model["torn_records"] == 1
+        assert model["gate"]["margins"] == []  # torn file is not "newest"
+
+    def test_runs_fold_manifest_and_warnings(self, tmp_path):
+        _run_dir(tmp_path, "smoke", warnings=["drop PDF truncated"])
+        _run_dir(tmp_path, "noreport", report=False)
+        model = collect_history(tmp_path)
+        by_run = {r["run"]: r for r in model["runs"]}
+        assert by_run["smoke"]["warnings"] == ["drop PDF truncated"]
+        assert by_run["smoke"]["report"] and not by_run["smoke"]["html"]
+        assert not by_run["noreport"]["report"]
+        assert by_run["smoke"]["seed"] == 42
+
+    def test_fleet_dirs_found_recursively(self, tmp_path):
+        _fleet_dir(tmp_path, "deep/campaign-a", quarantine=True)
+        _fleet_dir(tmp_path, "campaign-b")
+        model = collect_history(tmp_path)
+        by_dir = {f["state_dir"]: f for f in model["fleets"]}
+        assert by_dir["deep/campaign-a"]["status"] == "DEGRADED"
+        assert by_dir["campaign-b"]["status"] == "COMPLETE"
+        q = by_dir["deep/campaign-a"]["quarantined"]
+        assert len(q) == 1 and q[0]["id"] == 1
+
+
+class TestRender:
+    def test_markdown_sections(self, tmp_path):
+        _bench_file(tmp_path, 0, {"event_loop": 2.0})
+        _bench_file(tmp_path, 1, {"event_loop": 2.2})
+        _run_dir(tmp_path, "smoke")
+        _fleet_dir(tmp_path, "camp", quarantine=True)
+        md = generate_history(tmp_path)
+        assert "## Benchmark trajectory (2 files)" in md
+        assert f"## Regression gate (floor {REGRESSION_FLOOR:.2f}x)" in md
+        assert "| event_loop | 2.00x | 2.20x |" in md
+        assert "## Recorded runs (1)" in md
+        assert "## Fleet runs (1)" in md
+        assert "### DEGRADED-run log" in md
+        assert "campaign unit 1 quarantined after 3 attempts" in md
+        assert "WorkerDied: signal SIGKILL" in md
+        assert md.rstrip().endswith("skipped while reading: 0_")
+
+    def test_regression_called_out(self, tmp_path):
+        _bench_file(tmp_path, 0, {"event_loop": 4.0})
+        _bench_file(tmp_path, 1, {"event_loop": 1.0})
+        assert "**REGRESSION**" in generate_history(tmp_path)
+
+    def test_empty_root_renders_placeholders(self, tmp_path):
+        md = generate_history(tmp_path)
+        assert "_no BENCH_<n>.json files found_" in md
+        assert "_fewer than two bench files — gate idle_" in md
+        assert "_no run directories under runs/_" in md
+        assert "_no campaign/zoo state directories under the root_" in md
+
+    def test_html_escapes_markdown(self, tmp_path):
+        _fleet_dir(tmp_path, "camp", quarantine=True)
+        page = generate_html_history(tmp_path)
+        assert page.startswith("<!doctype html>")
+        assert "<pre>" in page
+        assert "**DEGRADED**" in page  # markdown body survives, escaped
+        assert "<script" not in page
+
+
+class TestMain:
+    def test_out_and_html(self, tmp_path, capsys):
+        _bench_file(tmp_path, 0, {"event_loop": 2.0})
+        out = tmp_path / "timeline.md"
+        assert main([str(tmp_path), "--out", str(out), "--html"]) == 0
+        assert out.read_text() == generate_history(tmp_path)
+        assert out.with_suffix(".html").exists()
+        captured = capsys.readouterr()
+        assert captured.out.startswith("# repro health timeline")
+        assert "[history written to" in captured.err
+
+    def test_default_root_prints(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main([]) == 0
+        assert "# repro health timeline" in capsys.readouterr().out
