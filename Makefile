@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test check-invariants faults report zoo-smoke chaos campaign-smoke top-smoke bench bench-smoke bench-micro bench-paper figures examples clean
+.PHONY: install test check-invariants faults report zoo-smoke fluid-smoke fluid-convergence chaos campaign-smoke top-smoke bench bench-smoke bench-micro bench-paper figures examples clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
 
-test: check-invariants faults report zoo-smoke chaos campaign-smoke top-smoke bench-smoke
+test: check-invariants faults report zoo-smoke fluid-smoke chaos campaign-smoke top-smoke bench-smoke
 	$(PYTHON) -m pytest tests/
 
 # Chaos lane: SIGKILL the live campaign supervisor from outside, hang
@@ -34,6 +34,16 @@ top-smoke:
 # untested variants), plus the full sender x queue conservation matrix.
 zoo-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest -q tests/experiments/test_zoo.py tests/integration/test_zoo_matrix.py tests/tcp/test_registry.py tests/sim/test_codel.py
+
+# Fluid lane: mean-field engine invariants (conservation, determinism,
+# dt-halving) plus the N=100 vs N=1k packet-vs-fluid convergence pair.
+fluid-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest -q tests/sim/test_fluid.py tests/experiments/test_manyflows.py
+
+# Full convergence run: adds the N=10k leg (several minutes of packet
+# simulation) and the 100x flows/sec assertion.  Opt-in, not in `test`.
+fluid-convergence:
+	REPRO_FLUID_FULL=1 PYTHONPATH=src $(PYTHON) -m pytest -q tests/experiments/test_manyflows.py
 
 # Conservation smoke: run the two simulator-heavy figures with the
 # invariant checker armed; any accounting violation aborts the run.

@@ -129,6 +129,12 @@ def _zoo(seed, scale):
     return run_zoo(seed=seed, scale=scale).to_text()
 
 
+def _manyflows(seed, scale):
+    from repro.experiments import run_manyflows
+
+    return run_manyflows(seed=seed, scale=scale).to_text()
+
+
 def _red(seed, scale):
     from repro.extensions import run_red_sweep, sweep_table
 
@@ -157,6 +163,8 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "fig7": (_fig7, "Figure 7 — TCP Pacing vs NewReno competition"),
     "fig8": (_fig8, "Figure 8 — parallel-transfer latency grid"),
     "zoo": (_zoo, "Extension — protocol/AQM zoo grid (Fig. 7 + Eqs. 1-2)"),
+    "manyflows": (_manyflows,
+                  "Extension — many-flows convergence, packet vs fluid"),
     "methodology": (_methodology, "Extension — measurement methodology comparison"),
     "shortflows": (_shortflows, "Extension — slow-start churn burstiness (§3.3)"),
     "red": (_red, "Extension — RED tuning sweep"),

@@ -48,13 +48,15 @@ def event_spans(times: np.ndarray, rtt: float) -> np.ndarray:
 
     Returns an int64 array ``b`` of length ``n_events + 1`` such that event
     ``j`` covers records ``b[j]:b[j+1]``.  Each event is the maximal prefix
-    within ``[t[i], t[i] + rtt]``: the boundary search jumps to the first
-    loss beyond the window with a binary search, so the cost is
-    O(E log N) for E events — the loss-per-event factor (huge for bursty
-    traces) is free.  This is the index-level primitive behind
-    :func:`cluster_loss_events`; vectorized analyses (e.g. the Eq. 1–2
-    detection counts) work directly on these spans without building
-    per-event objects.
+    within ``[t[i], t[i] + rtt]``.  All window boundaries are found with a
+    single vectorized ``searchsorted(t, t + rtt)`` (one C-level pass,
+    O(N log N)); the event chain is then just the orbit of ``i -> nxt[i]``
+    starting at 0, an O(E) walk.  This replaced a per-event Python loop of
+    ``searchsorted`` calls whose interpreter call overhead dominated for
+    bursty traces (thousands of events per trace).  This is the
+    index-level primitive behind :func:`cluster_loss_events`; vectorized
+    analyses (e.g. the Eq. 1–2 detection counts) work directly on these
+    spans without building per-event objects.
     """
     if rtt <= 0:
         raise ValueError(f"rtt must be positive, got {rtt}")
@@ -63,11 +65,12 @@ def event_spans(times: np.ndarray, rtt: float) -> np.ndarray:
         return np.zeros(1, dtype=np.int64)
     if np.any(np.diff(t) < 0):
         raise ValueError("timestamps not sorted")
+    nxt = np.searchsorted(t, t + rtt, side="right")
     bounds = [0]
     n = len(t)
     i = 0
     while i < n:
-        i = int(np.searchsorted(t, t[i] + rtt, side="right"))
+        i = int(nxt[i])
         bounds.append(i)
     return np.asarray(bounds, dtype=np.int64)
 
@@ -85,9 +88,13 @@ def distinct_flows_per_event(
     Returns an int64 array of length ``n_events``.
 
     Implementation: each record gets its event index via ``np.repeat``;
-    distinct (event, flow) pairs are counted by uniquifying the combined
-    key ``event_index * flow_range + flow_offset`` and binning the event
-    part — no Python loop over events.
+    distinct (event, flow) pairs are identified by the combined key
+    ``event_index * flow_range + flow_offset`` — no Python loop over
+    events.  When the (events x flow-range) grid is modest the pairs are
+    marked in a dense boolean grid (one O(N) scatter plus an O(grid)
+    row-sum, no sort); otherwise the keys are uniquified with a
+    sort-based ``np.unique`` and binned, which handles arbitrarily
+    sparse flow-id spaces at O(N log N).
     """
     spans = np.asarray(spans, dtype=np.int64)
     n_events = len(spans) - 1
@@ -102,6 +109,11 @@ def distinct_flows_per_event(
     fmin = int(fids.min())
     span = int(fids.max()) - fmin + 1
     key = eidx * span + (fids - fmin)
+    grid = n_events * span
+    if grid <= max(1 << 20, 8 * len(fids)):
+        seen = np.zeros(grid, dtype=bool)
+        seen[key] = True
+        return seen.reshape(n_events, span).sum(axis=1, dtype=np.int64)
     events_of_pairs = np.unique(key) // span
     return np.bincount(events_of_pairs, minlength=n_events).astype(np.int64)
 

@@ -13,6 +13,14 @@ from repro.experiments.fig3_dummynet import Fig3Result, run_fig3
 from repro.experiments.fig4_planetlab import Fig4Result, run_fig4
 from repro.experiments.fig7_competition import Fig7Result, run_fig7
 from repro.experiments.fig8_parallel import Fig8Result, run_fig8, run_fig8_cell
+from repro.experiments.manyflows import (
+    ManyFlowsCell,
+    ManyFlowsResult,
+    ManyFlowsRow,
+    run_manyflows,
+    run_manyflows_fluid,
+    run_manyflows_packet,
+)
 from repro.experiments.mapreduce_shuffle import MapReduceResult, run_mapreduce
 from repro.experiments.methodology import MethodologyResult, run_methodology
 from repro.experiments.parallel import default_workers, parallel_map
@@ -34,6 +42,9 @@ __all__ = [
     "Fig4Result",
     "Fig7Result",
     "Fig8Result",
+    "ManyFlowsCell",
+    "ManyFlowsResult",
+    "ManyFlowsRow",
     "MapReduceResult",
     "MethodologyResult",
     "Scale",
@@ -52,6 +63,9 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig8_cell",
+    "run_manyflows",
+    "run_manyflows_fluid",
+    "run_manyflows_packet",
     "run_mapreduce",
     "run_methodology",
     "run_shortflows",

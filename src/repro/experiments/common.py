@@ -59,6 +59,11 @@ class Scale:
     # Figure 4 campaign.
     campaign_experiments: int
     campaign_probe_duration: float
+    # Many-flows convergence (fluid vs packet; see repro.experiments.manyflows).
+    manyflows_ns: tuple[int, ...] = (100, 1000)
+    manyflows_per_flow_bps: float = 800e3
+    manyflows_duration: float = 5.0
+    manyflows_dt: float = 0.004
 
 
 FAST = Scale(
@@ -78,6 +83,10 @@ FAST = Scale(
     fig8_repetitions=3,
     campaign_experiments=80,
     campaign_probe_duration=60.0,
+    manyflows_ns=(100, 1000),
+    manyflows_per_flow_bps=800e3,
+    manyflows_duration=5.0,
+    manyflows_dt=0.004,
 )
 
 PAPER = Scale(
@@ -97,6 +106,10 @@ PAPER = Scale(
     fig8_repetitions=5,
     campaign_experiments=300,
     campaign_probe_duration=300.0,
+    manyflows_ns=(100, 1000, 10000),
+    manyflows_per_flow_bps=800e3,
+    manyflows_duration=8.0,
+    manyflows_dt=0.004,
 )
 
 _PROFILES = {"fast": FAST, "paper": PAPER}

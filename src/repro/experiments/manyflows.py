@@ -1,0 +1,364 @@
+"""Many-flows convergence: the packet engine vs the mean-field fluid limit.
+
+The paper's distributed-applications implications are population
+statements — what loss burstiness does to *thousands* of flows sharing
+one buffer — but the packet engine costs O(N) events per RTT.  This
+driver runs the same two-class scenario on both backends under the
+weak-convergence scaling (capacity and buffer grown proportionally to
+N, per-flow bandwidth share held fixed) and measures how fast the
+stochastic packet system converges to the deterministic fluid limit
+(:mod:`repro.sim.fluid`) as N grows 100 → 1k → 10k:
+
+* **throughput share** per RTT class (the Fig. 7 observable), and
+* **per-flow loss-event rate** (window cuts per second — fast
+  retransmits + timeouts on the packet side, the thinned feedback rate
+  ``eta`` on the fluid side).
+
+Lautenschlaeger's weak-convergence result (PAPERS.md) predicts the gap
+shrinks like the population's relative fluctuations, so the suite in
+``tests/experiments/test_manyflows.py`` asserts monotonically
+tightening tolerance bands.  The fluid backend's cost is O(steps),
+independent of N — the ≥100x flows/s unlock benchmarked by the
+``many_flows`` stage in ``python -m repro bench``.
+
+Scenario shape: two NewReno classes at 100 ms and 250 ms propagation
+RTT, N/2 flows each, 800 kbps fair share per flow (per-flow BDP 10 and
+25 packets), bottleneck buffer of 8 packets per flow, and a
+receiver-window cap of twice the per-flow pipe on *both* backends
+(without it the synchronized initial slow start overshoots into
+timeout collapse, a regime the fluid model — which has no timeouts —
+deliberately excludes).  Small per-flow BDPs keep windows in the
+paper's loss-bursty regime; classes share one host pair each on the
+packet side so object count stays O(classes) hosts + O(N) agents.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.common import Scale, current_scale, observe_experiment
+from repro.obs.spans import maybe_tracer, span
+from repro.sim.engine import Simulator
+from repro.sim.fluid import FluidClass, FluidScenario, run_fluid
+from repro.sim.rng import RngStreams
+from repro.sim.topology import DumbbellConfig, build_dumbbell
+from repro.sim.trace import ThroughputTrace
+from repro.tcp.registry import create_sender
+from repro.tcp.sink import TcpSink
+
+__all__ = [
+    "CLASS_RTTS",
+    "ManyFlowsCell",
+    "ManyFlowsRow",
+    "ManyFlowsResult",
+    "packet_scenario_events",
+    "run_manyflows_fluid",
+    "run_manyflows_packet",
+    "run_manyflows",
+]
+
+#: The two RTT classes (name, propagation RTT seconds).  100/250 ms
+#: spans the paper's WAN regime with a 2.5x unfairness lever arm.
+CLASS_RTTS: tuple[tuple[str, float], ...] = (("near", 0.100), ("far", 0.250))
+
+SENDER = "newreno"
+BUFFER_PKTS_PER_FLOW = 8
+WARMUP_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class ManyFlowsCell:
+    """One backend's measurements at one population size."""
+
+    backend: str  # "packet" | "fluid"
+    n: int
+    wall_s: float
+    throughput_share: tuple[float, ...]
+    class_loss_event_rate: tuple[float, ...]  # per flow, events/s
+    loss_rate: float
+
+    @property
+    def flows_per_s(self) -> float:
+        """Simulated flows per wall-clock second (the bench metric)."""
+        return self.n / self.wall_s if self.wall_s > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class ManyFlowsRow:
+    """Packet-vs-fluid comparison at one population size."""
+
+    n: int
+    packet: ManyFlowsCell
+    fluid: ManyFlowsCell
+
+    @property
+    def share_gap(self) -> float:
+        """Max absolute per-class throughput-share difference."""
+        return max(
+            abs(f - p)
+            for f, p in zip(self.fluid.throughput_share,
+                            self.packet.throughput_share)
+        )
+
+    @property
+    def loss_gap(self) -> float:
+        """Max relative per-class loss-event-rate difference."""
+        return max(
+            abs(f - p) / p if p > 0 else float("inf")
+            for f, p in zip(self.fluid.class_loss_event_rate,
+                            self.packet.class_loss_event_rate)
+        )
+
+    @property
+    def speedup(self) -> float:
+        """Packet wall time over fluid wall time at this N."""
+        return (self.packet.wall_s / self.fluid.wall_s
+                if self.fluid.wall_s > 0 else float("inf"))
+
+
+@dataclass
+class ManyFlowsResult:
+    """The convergence sweep: one row per population size."""
+
+    class_names: tuple[str, ...]
+    rows: tuple[ManyFlowsRow, ...] = field(default_factory=tuple)
+
+    def to_text(self) -> str:
+        """Render the convergence table."""
+        lines = [
+            "Many-flows convergence — packet engine vs mean-field fluid limit",
+            f"  classes: {', '.join(self.class_names)} ({SENDER}, "
+            f"rtts {'/'.join(f'{r * 1e3:.0f}ms' for _, r in CLASS_RTTS)})",
+            "  N      share(pkt)      share(fluid)    gap     "
+            "ev/s(pkt)    ev/s(fluid)  rel.gap  speedup",
+        ]
+        for row in self.rows:
+            ps = "/".join(f"{s:.3f}" for s in row.packet.throughput_share)
+            fs = "/".join(f"{s:.3f}" for s in row.fluid.throughput_share)
+            pe = "/".join(f"{e:.2f}" for e in row.packet.class_loss_event_rate)
+            fe = "/".join(f"{e:.2f}" for e in row.fluid.class_loss_event_rate)
+            lines.append(
+                f"  {row.n:<6d} {ps:<15s} {fs:<15s} {row.share_gap:.3f}   "
+                f"{pe:<12s} {fe:<12s} {row.loss_gap:.3f}    "
+                f"{row.speedup:.0f}x"
+            )
+        return "\n".join(lines)
+
+
+def _scenario_dims(n: int, sc: Scale) -> tuple[float, int]:
+    """(capacity_bps, buffer_pkts) under the weak-convergence scaling."""
+    return n * sc.manyflows_per_flow_bps, BUFFER_PKTS_PER_FLOW * n
+
+
+def _class_caps(sc: Scale) -> tuple[tuple[float, float], ...]:
+    """Per-class (max_cwnd, initial_ssthresh), identical on both backends.
+
+    A receiver-window cap of twice the per-flow pipe (fair-share BDP +
+    buffer share) is the real-deployment bound that keeps the initial
+    synchronized slow start from overshooting into timeout collapse —
+    without it the packet population spends the whole run in RTO
+    recovery, a regime outside the fluid model (which has no timeouts).
+    """
+    per_flow_pps = sc.manyflows_per_flow_bps / 8.0 / 1000.0
+    caps = []
+    for _, rtt in CLASS_RTTS:
+        pipe = per_flow_pps * rtt + BUFFER_PKTS_PER_FLOW
+        w_max = 2.0 * pipe
+        caps.append((w_max, w_max / 2.0))
+    return tuple(caps)
+
+
+def packet_scenario_events(n: int, sc: Optional[Scale] = None) -> float:
+    """Rough forward-packet count of the packet run (for sizing docs)."""
+    sc = current_scale(sc)
+    capacity_bps, _ = _scenario_dims(n, sc)
+    return capacity_bps / 8.0 / 1000.0 * sc.manyflows_duration
+
+
+def fluid_scenario(n: int, sc: Optional[Scale] = None) -> FluidScenario:
+    """The fluid half of the convergence pair at population size ``n``."""
+    sc = current_scale(sc)
+    capacity_bps, buffer_pkts = _scenario_dims(n, sc)
+    split = _class_counts(n)
+    caps = _class_caps(sc)
+    return FluidScenario(
+        classes=tuple(
+            FluidClass(name, SENDER, n=nk, rtt=rtt,
+                       w_max=w_max, ssthresh0=ssthresh0)
+            for (name, rtt), nk, (w_max, ssthresh0)
+            in zip(CLASS_RTTS, split, caps)
+        ),
+        capacity_bps=capacity_bps,
+        buffer_pkts=buffer_pkts,
+        duration=sc.manyflows_duration,
+        dt=sc.manyflows_dt,
+        warmup=WARMUP_FRACTION * sc.manyflows_duration,
+    )
+
+
+def _class_counts(n: int) -> tuple[int, ...]:
+    """Split ``n`` flows across the RTT classes (remainder to the first)."""
+    k = len(CLASS_RTTS)
+    base = n // k
+    counts = [base] * k
+    counts[0] += n - base * k
+    if min(counts) < 1:
+        raise ValueError(f"need at least {k} flows for {k} classes, got {n}")
+    return tuple(counts)
+
+
+def run_manyflows_fluid(n: int, sc: Optional[Scale] = None) -> ManyFlowsCell:
+    """Run the fluid backend at population size ``n``."""
+    scn = fluid_scenario(n, sc)
+    t0 = time.perf_counter()
+    res = run_fluid(scn)
+    wall = time.perf_counter() - t0
+    return ManyFlowsCell(
+        backend="fluid",
+        n=n,
+        wall_s=wall,
+        throughput_share=res.throughput_share,
+        class_loss_event_rate=res.class_loss_event_rate,
+        loss_rate=res.loss_rate,
+    )
+
+
+def run_manyflows_packet(
+    n: int, seed: int = 1, sc: Optional[Scale] = None
+) -> ManyFlowsCell:
+    """Run the packet engine on the same scenario at population size ``n``."""
+    sc = current_scale(sc)
+    capacity_bps, buffer_pkts = _scenario_dims(n, sc)
+    duration = sc.manyflows_duration
+    warmup = WARMUP_FRACTION * duration
+    split = _class_counts(n)
+
+    streams = RngStreams(seed)
+    sim = Simulator()
+    tracer = maybe_tracer("manyflows", sim=sim)
+    t0 = time.perf_counter()
+
+    with span(tracer, "setup", n=n, seed=seed):
+        cfg = DumbbellConfig(
+            bottleneck_rate_bps=capacity_bps,
+            access_rate_bps=max(1e9, 16.0 * capacity_bps),
+            buffer_pkts=buffer_pkts,
+        )
+        db = build_dumbbell(sim, cfg)
+        tp = ThroughputTrace(bin_width=0.25)
+        start_rng = streams.stream("starts")
+
+        senders: list[list] = []
+        flows = []
+        caps = _class_caps(sc)
+        for k, ((name, rtt), nk) in enumerate(zip(CLASS_RTTS, split)):
+            # All nk flows of a class share one host pair: Host demuxes
+            # by flow id, so object count stays O(classes) hosts.
+            pair = db.add_pair(rtt=rtt, name=name)
+            w_max, ssthresh0 = caps[k]
+            cls_senders = []
+            for i in range(nk):
+                fid = (k + 1) * 1_000_000 + i
+                snd = create_sender(SENDER, sim, pair.left, fid,
+                                    pair.right.node_id,
+                                    max_cwnd=w_max,
+                                    initial_ssthresh=ssthresh0)
+                sink = TcpSink(sim, pair.right, fid, pair.left.node_id,
+                               throughput=tp)
+                tp.assign(fid, k)
+                cls_senders.append(snd)
+                flows.append((snd, sink))
+                snd.start(float(start_rng.uniform(0.0, 0.5)))
+            senders.append(cls_senders)
+
+        # Loss events (fast retransmits + timeouts) are cumulative from
+        # flow start; snapshot at warmup so the measurement window
+        # matches the fluid backend's.
+        base_events = [[0] * len(cls) for cls in senders]
+
+        def snapshot():
+            for k, cls in enumerate(senders):
+                for i, snd in enumerate(cls):
+                    base_events[k][i] = (snd.stats.fast_retransmits
+                                         + snd.stats.timeouts)
+
+        sim.schedule(warmup, snapshot)
+        obs = observe_experiment(
+            sim, db=db, name="manyflows", flows=flows, tracer=tracer,
+            manifest={"seed": seed, "n": n, "scale": sc.name},
+        )
+    with span(tracer, "run", until=duration), obs.profiled():
+        sim.run(until=duration)
+    wall = time.perf_counter() - t0
+
+    with span(tracer, "analyze"):
+        measured = duration - warmup
+        shares = []
+        rates = []
+        for k, cls in enumerate(senders):
+            t, mbps = tp.series(k, until=duration - 1e-9)
+            mask = t >= warmup
+            shares.append(float(mbps[mask].mean()) if mask.any() else 0.0)
+            events = sum(
+                snd.stats.fast_retransmits + snd.stats.timeouts - base
+                for snd, base in zip(cls, base_events[k])
+            )
+            rates.append(events / (len(cls) * measured))
+        total = sum(shares)
+        shares = [s / total if total > 0 else 0.0 for s in shares]
+        fq = db.forward_queue
+        loss_rate = (fq.dropped / fq.arrived) if fq.arrived else 0.0
+    obs.finalize(duration=duration)
+
+    return ManyFlowsCell(
+        backend="packet",
+        n=n,
+        wall_s=wall,
+        throughput_share=tuple(shares),
+        class_loss_event_rate=tuple(rates),
+        loss_rate=float(loss_rate),
+    )
+
+
+def run_manyflows(
+    seed: int = 1,
+    scale: Optional[Scale] = None,
+    ns: Optional[tuple[int, ...]] = None,
+    backend: str = "both",
+) -> ManyFlowsResult:
+    """Run the convergence sweep over population sizes.
+
+    ``backend`` narrows the run: ``"both"`` (default) produces the
+    packet-vs-fluid comparison rows; ``"fluid"`` or ``"packet"`` run a
+    single backend (the other cell is a zero-cost placeholder) for
+    timing or scouting.
+    """
+    sc = current_scale(scale)
+    sizes = tuple(ns) if ns is not None else sc.manyflows_ns
+    if backend not in ("both", "packet", "fluid"):
+        raise ValueError(
+            f"backend must be 'both', 'packet' or 'fluid', got {backend!r}"
+        )
+    rows = []
+    for n in sizes:
+        fluid_cell = (run_manyflows_fluid(n, sc)
+                      if backend in ("both", "fluid") else None)
+        packet_cell = (run_manyflows_packet(n, seed=seed, sc=sc)
+                       if backend in ("both", "packet") else None)
+        filler = ManyFlowsCell(
+            backend="none", n=n, wall_s=0.0,
+            throughput_share=(0.0,) * len(CLASS_RTTS),
+            class_loss_event_rate=(0.0,) * len(CLASS_RTTS),
+            loss_rate=0.0,
+        )
+        rows.append(ManyFlowsRow(
+            n=n,
+            packet=packet_cell or filler,
+            fluid=fluid_cell or filler,
+        ))
+    return ManyFlowsResult(
+        class_names=tuple(name for name, _ in CLASS_RTTS),
+        rows=tuple(rows),
+    )

@@ -76,10 +76,16 @@ __all__ = [
 DEFAULT_PROTOCOLS = ("reno", "newreno", "paced", "quic-paced", "bbr")
 #: Queue disciplines of the default grid.
 DEFAULT_AQMS = ("droptail", "red", "codel", "fq-codel")
-#: RTT classes: name -> propagation RTT.  The default single "wan" class
-#: matches the paper's 50 ms path; widen with e.g.
-#: ``{"lan": 0.010, "wan": 0.050, "sat": 0.200}``.
-DEFAULT_RTT_CLASSES = (("wan", 0.050),)
+#: RTT classes: name -> propagation RTT.  "wan" is the paper's 50 ms
+#: path (the pinned Fig. 7 byte-identity cell); the other three span a
+#: campus switch, a metro ring, and an intercontinental path, so the
+#: default grid reads the burstiness penalty across four delay regimes.
+DEFAULT_RTT_CLASSES = (
+    ("lan", 0.002),
+    ("metro", 0.015),
+    ("wan", 0.050),
+    ("intercont", 0.150),
+)
 
 #: Throughput-trace groups; fid bases match run_fig7/run_eq12 so the
 #: detection analysis classifies by the same id split.
@@ -115,6 +121,8 @@ class ZooCellResult:
     times: Optional[np.ndarray] = None
     baseline_mbps: Optional[np.ndarray] = None
     challenger_mbps: Optional[np.ndarray] = None
+    #: Which engine produced the cell: "packet" (default) or "fluid".
+    backend: str = "packet"
 
     @property
     def challenger_deficit(self) -> float:
@@ -150,6 +158,7 @@ class ZooCellResult:
             "dropped": self.dropped,
             "dropped_head": self.dropped_head,
             "marked": self.marked,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -232,6 +241,7 @@ def run_zoo_cell(
     rtt_name: str = "wan",
     buffer_bdp_fraction: float = 1.0,
     bin_width: float = 0.5,
+    backend: str = "packet",
 ) -> ZooCellResult:
     """Run one grid cell: NewReno baseline vs ``protocol`` over ``aqm``.
 
@@ -241,8 +251,28 @@ def run_zoo_cell(
     paper's Figure 7 scenario bit-for-bit.  The AQM draws randomness from
     its own ``"aqm"`` stream, so swapping disciplines never perturbs the
     flow-start randomness (variance isolation).
+
+    ``backend="fluid"`` runs the same cell on the mean-field engine
+    (:mod:`repro.sim.fluid`) instead: protocols/AQMs without a fluid
+    reduction raise :class:`~repro.sim.queues.FluidNotSupported` (the
+    grid reports those cells as failed rather than silently degrading),
+    and the detection columns are NaN — per-drop flow attribution is a
+    packet-level concept.  Note the physics: both Fig. 7 classes share
+    one RTT, and pacing differs from NewReno only *below* the RTT
+    timescale, so the fluid limit predicts an equal split — the paper's
+    pacing deficit is exactly the sub-RTT structure the mean-field
+    limit integrates away (see docs/TUTORIAL.md §12).
     """
     sc = current_scale(scale)
+    if backend == "fluid":
+        return _run_zoo_cell_fluid(
+            seed, sc, protocol, aqm, rtt=rtt, rtt_name=rtt_name,
+            buffer_bdp_fraction=buffer_bdp_fraction, bin_width=bin_width,
+        )
+    if backend != "packet":
+        raise ValueError(
+            f"backend must be 'packet' or 'fluid', got {backend!r}"
+        )
     spec = sender_spec(protocol)  # validate before simulating
     streams = RngStreams(seed)
     sim = Simulator()
@@ -345,10 +375,77 @@ def run_zoo_cell(
     )
 
 
+def _run_zoo_cell_fluid(
+    seed: int,
+    sc: Scale,
+    protocol: str,
+    aqm: str,
+    rtt: float,
+    rtt_name: str,
+    buffer_bdp_fraction: float,
+    bin_width: float,
+) -> ZooCellResult:
+    """The cell's mean-field twin: same dimensioning, fluid dynamics."""
+    from repro.sim.fluid import FluidClass, FluidScenario, run_fluid
+
+    spec = sender_spec(protocol)
+    cfg = DumbbellConfig(bottleneck_rate_bps=sc.fig7_capacity_bps)
+    buffer_pkts = max(4, int(cfg.bdp_packets(rtt) * buffer_bdp_fraction))
+    n = sc.fig7_flows_per_class
+    scenario = FluidScenario(
+        classes=(
+            FluidClass("baseline", "newreno", n=n, rtt=rtt),
+            FluidClass("challenger", protocol, n=n, rtt=rtt),
+        ),
+        capacity_bps=sc.fig7_capacity_bps,
+        buffer_pkts=buffer_pkts,
+        queue=aqm,
+        packet_size=cfg.packet_size,
+        duration=sc.fig7_duration,
+        # At least ~12 samples per RTT, and never coarser than 4 ms.
+        dt=min(0.004, rtt / 12.0),
+        warmup=0.0,
+    )
+    scenario.validate()  # FluidNotSupported surfaces before integrating
+    res = run_fluid(scenario)
+
+    # Bin the per-class delivered rate to the packet driver's cadence.
+    bits_per_pkt = 8.0 * cfg.packet_size
+    per_bin = max(1, int(round(bin_width / scenario.dt)))
+    n_bins = res.steps // per_bin
+    trimmed = res.x_trace[: n_bins * per_bin]
+    binned = trimmed.reshape(n_bins, per_bin, 2).mean(axis=1)
+    times = (np.arange(n_bins) + 0.5) * bin_width
+    mean_mbps = res.x_trace.mean(axis=0) * bits_per_pkt / 1e6
+
+    # Loss events: fluid drop episodes (cf. event_spans on drop traces).
+    return ZooCellResult(
+        protocol=protocol,
+        aqm=aqm,
+        rtt_name=rtt_name,
+        rtt=rtt,
+        rate_based=spec.rate_based,
+        mean_baseline_mbps=float(mean_mbps[0]),
+        mean_challenger_mbps=float(mean_mbps[1]),
+        n_events=res.loss_event_count,
+        mean_event_size=float("nan"),
+        measured_baseline_hits=float("nan"),
+        measured_challenger_hits=float("nan"),
+        dropped=int(round(res.dropped_pkts)),
+        dropped_head=0,
+        marked=0,
+        times=times,
+        baseline_mbps=binned[:, 0] * bits_per_pkt / 1e6,
+        challenger_mbps=binned[:, 1] * bits_per_pkt / 1e6,
+        backend="fluid",
+    )
+
+
 def _zoo_worker(item: tuple) -> dict:
     """Picklable per-cell worker for :func:`parallel_map` fan-out."""
-    seed, sc, protocol, aqm, rtt_name, rtt = item
-    cell = run_zoo_cell(seed, sc, protocol, aqm, rtt=rtt, rtt_name=rtt_name)
+    seed, sc, protocol, aqm, rtt_name, rtt, backend = item
+    cell = run_zoo_cell(seed, sc, protocol, aqm, rtt=rtt, rtt_name=rtt_name,
+                        backend=backend)
     return cell.to_record()
 
 
@@ -358,12 +455,18 @@ def run_zoo(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     aqms: Sequence[str] = DEFAULT_AQMS,
     rtt_classes: Sequence[tuple[str, float]] = DEFAULT_RTT_CLASSES,
+    backend: str = "packet",
 ) -> ZooGridResult:
     """Run the full grid, resuming from / streaming to a checkpoint.
 
     Cell order is deterministic (rtt class, protocol, aqm) and each cell
     derives every random stream from ``seed`` alone, so a resumed or
     parallel run is bit-identical to a fresh serial one.
+
+    With ``backend="fluid"`` every cell runs on the mean-field engine;
+    cells whose protocol or AQM has no fluid reduction are reported in
+    ``failed`` as ``<cell> (fluid unsupported: ...)`` up front instead
+    of being attempted — no silent fallback to the packet engine.
     """
     sc = current_scale(scale)
     cells_spec = [
@@ -372,6 +475,20 @@ def run_zoo(
         for protocol in protocols
         for aqm in aqms
     ]
+
+    unsupported: dict[int, str] = {}
+    if backend == "fluid":
+        from repro.sim.queues import FluidNotSupported, make_fluid_law
+        from repro.tcp.fluid_maps import make_fluid_map
+
+        for i, (rtt_name, rtt, protocol, aqm) in enumerate(cells_spec):
+            try:
+                make_fluid_map(protocol)
+                make_fluid_law(aqm, 4, service_rate_pps=1.0)
+            except FluidNotSupported as exc:
+                unsupported[i] = (
+                    f"{protocol}/{aqm}/{rtt_name} (fluid unsupported: {exc})"
+                )
 
     ckpt: Optional[Checkpoint] = None
     records: dict[int, dict] = {}
@@ -390,14 +507,17 @@ def run_zoo(
         server = maybe_obs_server(ckpt_path.parent)
     resumed = len(records)
 
-    todo_idx = [i for i in range(len(cells_spec)) if i not in records]
+    todo_idx = [
+        i for i in range(len(cells_spec))
+        if i not in records and i not in unsupported
+    ]
     items = [
         (seed, sc, cells_spec[i][2], cells_spec[i][3],
-         cells_spec[i][0], cells_spec[i][1])
+         cells_spec[i][0], cells_spec[i][1], backend)
         for i in todo_idx
     ]
     on_error = on_error_from_env()
-    failed: list[str] = []
+    failed: list[str] = list(unsupported.values())
 
     def cell_label(idx: int) -> str:
         rtt_name, _, protocol, aqm = cells_spec[idx]

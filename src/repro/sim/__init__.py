@@ -13,6 +13,7 @@ transport protocols that run on top of it.
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.fluid import FluidClass, FluidResult, FluidScenario, run_fluid
 from repro.sim.link import Link
 from repro.sim.reference import ReferenceSimulator
 from repro.sim.node import Host, Node, Router
@@ -20,6 +21,7 @@ from repro.sim.packet import Packet
 from repro.sim.queues import (
     DropTailQueue,
     EnqueueResult,
+    FluidNotSupported,
     Queue,
     REDQueue,
 )
@@ -46,6 +48,10 @@ __all__ = [
     "EnqueueResult",
     "Event",
     "FlowStats",
+    "FluidClass",
+    "FluidNotSupported",
+    "FluidResult",
+    "FluidScenario",
     "Host",
     "Link",
     "Node",
@@ -63,5 +69,6 @@ __all__ = [
     "build_dumbbell",
     "build_star",
     "load_drop_trace",
+    "run_fluid",
     "save_drop_trace",
 ]

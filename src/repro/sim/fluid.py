@@ -1,0 +1,382 @@
+"""Mean-field fluid backend: O(classes)-per-step many-flows engine.
+
+The packet engine (:mod:`repro.sim.engine`) costs O(N) events per RTT
+for N flows; at the populations where the paper's *implications* live
+(thousands to millions of flows sharing one buffer) that is the wall
+BENCH_3 left standing.  This module steps the mean-field limit instead,
+following the two PAPERS.md oracles:
+
+* **McDonald–Reynier** — as N grows, per-flow windows decouple and the
+  queue sees only the *aggregate* arrival rate, so one window ODE per
+  flow *class* plus one queue-occupancy ODE captures the system
+  (propagation of chaos).
+* **Lautenschlaeger** — under the weak-convergence scaling (capacity
+  and buffer grown proportionally to N) the stochastic packet system
+  converges to this deterministic fluid limit, which is exactly what
+  the convergence suite in ``tests/experiments/test_manyflows.py``
+  measures over N = 100 → 1k → 10k.
+
+Per step the engine computes, for class arrays ``W``/``ssthresh`` and
+scalar queue ``q``:
+
+1. effective RTT ``R = R0 + q/C`` and per-flow rate ``a = W/R``;
+2. the queue's early-drop probability from its registered fluid law
+   (:func:`repro.sim.queues.make_fluid_law` — the *same* RED ramp the
+   packet queue flips coins against);
+3. an exact-per-step queue update (drain-to-empty and overflow handled
+   in closed form, not by clamping after the fact) so the conservation
+   identity *offered = delivered + dropped + Δq* holds to float
+   rounding at every step — the fluid analogue of the packet engine's
+   ``arrived == enqueued + dropped`` invariant;
+4. per-class loss feedback delayed by one propagation RTT, thinned to
+   *loss events* via ``eta = (1 - exp(-delta R)) / R`` (a window halves
+   at most once per RTT however many drops land in it — the fluid form
+   of NewReno's per-window cut), driving the AIMD decrease from the
+   protocol's :class:`~repro.tcp.fluid_maps.FluidWindowMap`.
+
+Everything is deterministic: no RNG, so identical scenarios produce
+identical bytes, and halving ``dt`` must move results only within the
+integrator's tolerance (property-tested).
+
+>>> scn = FluidScenario(
+...     classes=(FluidClass("near", "newreno", n=500, rtt=0.06),
+...              FluidClass("far", "newreno", n=500, rtt=0.14)),
+...     capacity_bps=500 * 400e3, buffer_pkts=2500)
+>>> res = run_fluid(scn)
+>>> res.flows, round(sum(res.throughput_share), 6)
+(1000, 1.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.queues import FluidQueueLaw, make_fluid_law
+from repro.tcp.fluid_maps import FluidWindowMap, make_fluid_map
+
+__all__ = [
+    "FluidClass",
+    "FluidScenario",
+    "FluidResult",
+    "run_fluid",
+]
+
+
+@dataclass(frozen=True)
+class FluidClass:
+    """One homogeneous flow population sharing the bottleneck.
+
+    ``sender`` is a :mod:`repro.tcp.registry` name with a registered
+    fluid window map (reno/newreno/paced); ``rtt`` is the two-way
+    propagation delay excluding queueing; ``start`` staggers class
+    activation; ``w0`` seeds the mean window (packets).  ``w_max`` is
+    the receiver-window cap and ``ssthresh0`` the initial slow-start
+    threshold — both default to effectively unbounded, and both map
+    one-to-one onto the packet senders' ``max_cwnd`` /
+    ``initial_ssthresh`` so a convergence pair runs identical caps.
+    """
+
+    name: str
+    sender: str
+    n: int
+    rtt: float
+    start: float = 0.0
+    w0: float = 2.0
+    w_max: float = 1e9
+    ssthresh0: float = 1e9
+
+    def __post_init__(self):
+        if self.n < 1:
+            raise ValueError(f"class {self.name!r} needs n >= 1, got {self.n}")
+        if self.rtt <= 0:
+            raise ValueError(f"class {self.name!r} needs rtt > 0, got {self.rtt}")
+        if self.w0 < 1.0:
+            raise ValueError(f"class {self.name!r} needs w0 >= 1, got {self.w0}")
+        if self.w_max < self.w0:
+            raise ValueError(
+                f"class {self.name!r} needs w_max >= w0, got {self.w_max}"
+            )
+
+
+@dataclass(frozen=True)
+class FluidScenario:
+    """A many-flows bottleneck scenario for the fluid backend.
+
+    Mirrors the packet drivers' dumbbell vocabulary: ``capacity_bps``
+    and ``buffer_pkts`` describe the shared bottleneck, ``queue`` is a
+    :func:`repro.sim.queues.make_queue` kind (resolved through
+    :func:`~repro.sim.queues.make_fluid_law`, so kinds without a
+    mean-field reduction raise
+    :class:`~repro.sim.queues.FluidNotSupported` at validation time,
+    not mid-run).  ``warmup`` defaults to 30% of ``duration``; measured
+    quantities (throughput share, loss-event rate) cover
+    ``[warmup, duration]`` only.
+    """
+
+    classes: tuple[FluidClass, ...]
+    capacity_bps: float
+    buffer_pkts: int
+    queue: str = "droptail"
+    queue_kwargs: dict = field(default_factory=dict)
+    packet_size: int = 1000
+    duration: float = 5.0
+    dt: float = 0.005
+    warmup: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.classes:
+            raise ValueError("scenario needs at least one flow class")
+        if self.capacity_bps <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity_bps}")
+        if self.dt <= 0 or self.dt > min(c.rtt for c in self.classes):
+            raise ValueError(
+                f"dt={self.dt} must be positive and <= the smallest class "
+                f"RTT ({min(c.rtt for c in self.classes)})"
+            )
+        if self.duration <= self.dt:
+            raise ValueError("duration must exceed dt")
+
+    @property
+    def capacity_pps(self) -> float:
+        """Bottleneck service rate in packets per second."""
+        return self.capacity_bps / (8.0 * self.packet_size)
+
+    @property
+    def warmup_s(self) -> float:
+        """Effective warmup (explicit value or 30% of duration)."""
+        return 0.3 * self.duration if self.warmup is None else self.warmup
+
+    @property
+    def flows(self) -> int:
+        """Total flow count across classes."""
+        return sum(c.n for c in self.classes)
+
+    def window_maps(self) -> tuple[FluidWindowMap, ...]:
+        """Resolve per-class window maps (raises FluidNotSupported early)."""
+        return tuple(make_fluid_map(c.sender) for c in self.classes)
+
+    def queue_law(self) -> FluidQueueLaw:
+        """Resolve the queue's fluid drop law (raises FluidNotSupported early)."""
+        return make_fluid_law(
+            self.queue, self.buffer_pkts,
+            service_rate_pps=self.capacity_pps, **self.queue_kwargs,
+        )
+
+    def validate(self) -> None:
+        """Fail fast on any component without a mean-field reduction."""
+        self.window_maps()
+        self.queue_law()
+
+
+@dataclass
+class FluidResult:
+    """Outputs of one fluid run, aligned with the packet-engine metrics.
+
+    ``throughput_share`` and ``class_loss_event_rate`` (per-flow loss
+    *events* — window cuts — per second, the mean of the thinned
+    feedback rate ``eta`` over the measurement window) are the two
+    convergence observables; ``residuals`` is the per-step conservation
+    defect
+    (packets) that the invariant tests pin to float rounding.  Traces
+    (``times``/``q_trace``/``w_trace``/``drop_rate_trace``) are full
+    resolution — one entry per step — for plotting and the tutorial.
+    """
+
+    class_names: tuple[str, ...]
+    class_n: tuple[int, ...]
+    flows: int
+    steps: int
+    dt: float
+    duration: float
+    warmup: float
+    throughput_pps: tuple[float, ...]
+    throughput_share: tuple[float, ...]
+    class_loss_event_rate: tuple[float, ...]
+    loss_event_count: int
+    loss_event_rate: float
+    loss_rate: float
+    offered_pkts: float
+    delivered_pkts: float
+    dropped_pkts: float
+    max_residual: float
+    residuals: np.ndarray
+    times: np.ndarray
+    q_trace: np.ndarray
+    w_trace: np.ndarray
+    drop_rate_trace: np.ndarray
+    #: Per-class delivered rate (packets/s), shape (steps, classes).
+    x_trace: np.ndarray
+
+
+def _loss_events(times: np.ndarray, drop_rate: np.ndarray, *,
+                 min_gap: float, t_lo: float) -> int:
+    """Count drop episodes, merging gaps shorter than ``min_gap``.
+
+    The fluid twin of ``repro.analysis`` ``event_spans``: a loss *event*
+    is a maximal span of positive aggregate drop rate, with sub-RTT
+    lulls merged, counted if it starts after ``t_lo``.
+    """
+    active = drop_rate > 0.0
+    if not active.any():
+        return 0
+    idx = np.flatnonzero(active)
+    t = times[idx]
+    # A new event starts wherever the gap to the previous active step
+    # exceeds min_gap; the first active step always starts one.
+    starts = np.empty(len(t), dtype=bool)
+    starts[0] = True
+    np.greater(t[1:] - t[:-1], min_gap, out=starts[1:])
+    return int(np.count_nonzero(t[starts] >= t_lo))
+
+
+def run_fluid(scenario: FluidScenario) -> FluidResult:
+    """Integrate the mean-field ODE system and measure the observables."""
+    classes = scenario.classes
+    K = len(classes)
+    maps = scenario.window_maps()
+    law = scenario.queue_law()
+    law.reset()
+
+    dt = scenario.dt
+    steps = int(round(scenario.duration / dt))
+    C = scenario.capacity_pps
+    B = float(scenario.buffer_pkts)
+    warmup = scenario.warmup_s
+
+    n = np.array([c.n for c in classes], dtype=np.float64)
+    rtt0 = np.array([c.rtt for c in classes], dtype=np.float64)
+    start = np.array([c.start for c in classes], dtype=np.float64)
+    W = np.array([c.w0 for c in classes], dtype=np.float64)
+    w_max = np.array([c.w_max for c in classes], dtype=np.float64)
+    ssthresh = np.array([c.ssthresh0 for c in classes], dtype=np.float64)
+    beta = np.array([m.beta for m in maps], dtype=np.float64)
+    # One propagation RTT of feedback delay, at least one step.
+    delay = np.maximum(1, np.rint(rtt0 / dt).astype(np.int64))
+
+    # Per-class per-flow drop-rate history for delayed feedback.
+    H = np.zeros((steps + 1, K))
+    residuals = np.empty(steps)
+    q_trace = np.empty(steps)
+    w_trace = np.empty((steps, K))
+    drop_rate_trace = np.empty(steps)
+    x_trace = np.empty((steps, K))
+    times = (np.arange(steps, dtype=np.float64) + 1.0) * dt
+
+    q = 0.0
+    offered_t = delivered_t = dropped_t = 0.0
+    delivered_k = np.zeros(K)
+    eta_sum = np.zeros(K)
+    measure_steps = 0
+    row = np.arange(K)
+    growth_fns = [m.growth for m in maps]
+    shared_growth = growth_fns[0] if all(
+        g is growth_fns[0] for g in growth_fns) else None
+
+    for i in range(steps):
+        t = i * dt
+        active = t >= start
+        R = rtt0 + q / C
+        A_k = np.where(active, n * W / R, 0.0)
+        A = float(A_k.sum())
+
+        p = law.drop_probability(q, A, dt) if A > 0.0 else 0.0
+        I = (1.0 - p) * A
+
+        # Exact per-step queue bookkeeping (packets).
+        overflow = 0.0
+        if q <= 0.0 and I <= C:
+            served = I * dt
+            q_new = 0.0
+        else:
+            q_raw = q + (I - C) * dt
+            if q_raw < 0.0:
+                served = q + I * dt
+                q_new = 0.0
+            elif q_raw > B:
+                overflow = (q_raw - B) / dt
+                served = C * dt
+                q_new = B
+            else:
+                served = C * dt
+                q_new = q_raw
+
+        offered = A * dt
+        early = p * A * dt
+        over = overflow * dt
+        residuals[i] = offered - early - over - served - (q_new - q)
+
+        if A > 0.0:
+            share = A_k / A
+            delta = (p * A_k + overflow * share) / n
+        else:
+            share = np.zeros(K)
+            delta = np.zeros(K)
+        H[i + 1] = delta
+
+        offered_t += offered
+        dropped_t += early + over
+        delivered_t += served
+        if t >= warmup:
+            delivered_k += served * share
+            measure_steps += 1
+
+        # Delayed loss feedback, thinned to at most one event per RTT.
+        delta_d = H[np.maximum(i + 1 - delay, 0), row]
+        eta = -np.expm1(-delta_d * R) / R
+        if t >= warmup:
+            eta_sum += eta
+        if shared_growth is not None:
+            growth = shared_growth(W, ssthresh, R)
+        else:
+            growth = np.empty(K)
+            for k in range(K):
+                growth[k] = growth_fns[k](W[k:k + 1], ssthresh[k:k + 1],
+                                          R[k:k + 1])[0]
+        growth = np.where(active, growth, 0.0)
+        hit = active & (delta_d > 0.0)
+        ssthresh = np.where(hit, np.maximum(2.0, beta * W), ssthresh)
+        W = np.clip(W + (growth - (1.0 - beta) * W * eta) * dt, 1.0, w_max)
+
+        q_trace[i] = q_new
+        w_trace[i] = W
+        drop_rate_trace[i] = p * A + overflow
+        x_trace[i] = served * share / dt
+        q = q_new
+
+    measured = max(measure_steps * dt, dt)
+    total_delivered = float(delivered_k.sum())
+    share_out = (delivered_k / total_delivered if total_delivered > 0
+                 else np.zeros(K))
+    events = _loss_events(times, drop_rate_trace,
+                          min_gap=float(rtt0.min()), t_lo=warmup)
+
+    return FluidResult(
+        class_names=tuple(c.name for c in classes),
+        class_n=tuple(c.n for c in classes),
+        flows=scenario.flows,
+        steps=steps,
+        dt=dt,
+        duration=scenario.duration,
+        warmup=warmup,
+        throughput_pps=tuple(float(delivered_k[k] / measured / n[k])
+                             for k in range(K)),
+        throughput_share=tuple(float(s) for s in share_out),
+        class_loss_event_rate=tuple(
+            float(e) for e in eta_sum / max(measure_steps, 1)),
+        loss_event_count=events,
+        loss_event_rate=events / measured,
+        loss_rate=(dropped_t / offered_t if offered_t > 0 else 0.0),
+        offered_pkts=offered_t,
+        delivered_pkts=delivered_t,
+        dropped_pkts=dropped_t,
+        max_residual=float(np.abs(residuals).max()) if steps else 0.0,
+        residuals=residuals,
+        times=times,
+        q_trace=q_trace,
+        w_trace=w_trace,
+        drop_rate_trace=drop_rate_trace,
+        x_trace=x_trace,
+    )

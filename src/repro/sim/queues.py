@@ -25,6 +25,15 @@ Disciplines are also exposed through a named factory
 (:func:`make_queue` / :func:`register_queue` / :func:`queue_kinds`) so
 experiment drivers resolve AQMs by string key — the queue half of the
 protocol/AQM zoo registry.
+
+Each discipline may additionally register a *fluid drop law*
+(:func:`register_fluid_law` / :func:`make_fluid_law`): the deterministic
+drop-probability coupling the mean-field backend
+(:mod:`repro.sim.fluid`) integrates instead of per-packet coin flips.
+DropTail and RED have laws (RED's reuses the exact
+:func:`red_drop_probability` ramp the packet queue samples); sojourn-time
+disciplines (CoDel, FQ-CoDel) have no mean-field reduction here and
+raise :class:`FluidNotSupported` with the supported alternatives listed.
 """
 
 from __future__ import annotations
@@ -53,6 +62,14 @@ __all__ = [
     "make_queue",
     "register_queue",
     "queue_kinds",
+    "red_drop_probability",
+    "FluidNotSupported",
+    "FluidQueueLaw",
+    "DropTailFluidLaw",
+    "RedFluidLaw",
+    "register_fluid_law",
+    "make_fluid_law",
+    "fluid_law_kinds",
 ]
 
 
@@ -235,6 +252,22 @@ class REDParams:
         self.gentle = bool(gentle)
 
 
+def red_drop_probability(avg: float, params: REDParams) -> float:
+    """The RED early-action probability ``p_b`` for an average queue
+    length ``avg`` (Floyd & Jacobson's linear ramp, plus the "gentle"
+    extension).  Shared verbatim by the packet queue's per-arrival coin
+    flip (:meth:`REDQueue.push`) and the fluid backend's deterministic
+    drop-rate coupling (:class:`RedFluidLaw`), so the two backends
+    integrate the *same* control law."""
+    if avg < params.min_th:
+        return 0.0
+    if avg < params.max_th:
+        return params.max_p * (avg - params.min_th) / (params.max_th - params.min_th)
+    if params.gentle and avg < 2.0 * params.max_th:
+        return params.max_p + (1.0 - params.max_p) * (avg - params.max_th) / params.max_th
+    return 1.0
+
+
 class REDQueue(Queue):
     """Random Early Detection gateway.
 
@@ -283,14 +316,7 @@ class REDQueue(Queue):
             self.avg = (1.0 - w) * self.avg + w * q
 
     def _early_probability(self) -> float:
-        p = self.params
-        if self.avg < p.min_th:
-            return 0.0
-        if self.avg < p.max_th:
-            return p.max_p * (self.avg - p.min_th) / (p.max_th - p.min_th)
-        if p.gentle and self.avg < 2.0 * p.max_th:
-            return p.max_p + (1.0 - p.max_p) * (self.avg - p.max_th) / p.max_th
-        return 1.0
+        return red_drop_probability(self.avg, self.params)
 
     # -- interface ----------------------------------------------------------
     def push(self, pkt: Packet, now: float) -> EnqueueResult:
@@ -774,3 +800,162 @@ def _make_fq_codel(capacity_pkts, *, rng=None, name="fq-codel",
                    service_rate_pps=0.0, params: Optional[CoDelParams] = None,
                    **kwargs) -> FqCoDelQueue:
     return FqCoDelQueue(capacity_pkts, params=params, name=name, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Fluid drop laws — the queue half of the mean-field backend
+# ---------------------------------------------------------------------------
+
+
+class FluidNotSupported(NotImplementedError):
+    """A scenario component has no mean-field reduction.
+
+    Raised with an explicit message naming the unsupported component and
+    the supported alternatives, so ``backend="fluid"`` failures are
+    diagnosable from the exception text alone (the drivers surface it
+    verbatim rather than degrading silently).
+    """
+
+
+class FluidQueueLaw:
+    """Deterministic drop-probability coupling of one AQM kind.
+
+    The fluid backend (:mod:`repro.sim.fluid`) integrates a shared
+    queue-occupancy ODE; once per step it asks the law for the *early*
+    (pre-enqueue) drop probability given the instantaneous occupancy and
+    aggregate arrival rate.  Hard overflow above ``capacity_pkts`` is
+    handled by the queue ODE's clamp for every law, exactly as
+    :meth:`Queue._fits` backstops every packet discipline.
+
+    Laws are stateful (RED carries its EWMA average) and are reset per
+    run; ``drop_probability`` is called exactly once per step in time
+    order.
+    """
+
+    kind = "fluid"
+
+    def __init__(self, capacity_pkts: int, service_rate_pps: float):
+        if capacity_pkts < 1:
+            raise ValueError(f"queue capacity must be >= 1 packet, got {capacity_pkts}")
+        if service_rate_pps <= 0:
+            raise ValueError(f"service rate must be positive, got {service_rate_pps}")
+        self.capacity = int(capacity_pkts)
+        self.service_rate_pps = float(service_rate_pps)
+
+    def reset(self) -> None:
+        """Clear per-run state (called by the fluid engine before t=0)."""
+
+    def drop_probability(self, q: float, arrival_rate_pps: float,
+                         dt: float) -> float:
+        """Early drop probability for arrivals during the next ``dt``."""
+        raise NotImplementedError
+
+
+class DropTailFluidLaw(FluidQueueLaw):
+    """DropTail's mean-field law: no early drops, ever.
+
+    All loss comes from the queue ODE saturating at ``capacity`` — the
+    fluid analogue of "once the FIFO fills, every arrival is dropped
+    until the senders back off" (§3.3), and the source of the
+    synchronized loss *episodes* the convergence suite counts.
+    """
+
+    kind = "droptail"
+
+    def drop_probability(self, q: float, arrival_rate_pps: float,
+                         dt: float) -> float:
+        """Early drop probability for arrivals during the next ``dt``."""
+        return 0.0
+
+
+class RedFluidLaw(FluidQueueLaw):
+    """RED's mean-field law (McDonald–Reynier's coupling).
+
+    Evolves the same EWMA average the packet queue keeps — the
+    per-arrival update ``avg <- (1-w)*avg + w*q`` applied ``A*dt`` times
+    has the closed form ``q + (avg-q)*(1-w)**(A*dt)`` — and maps it
+    through the exact :func:`red_drop_probability` ramp.  The packet
+    queue's ``1/(1 - count*p_b)`` inter-drop spreading shapes *when*
+    drops land, not their mean rate, so the mean-field rate is ``p_b``
+    itself.
+    """
+
+    kind = "red"
+
+    def __init__(self, capacity_pkts: int, service_rate_pps: float,
+                 params: Optional[REDParams] = None):
+        super().__init__(capacity_pkts, service_rate_pps)
+        self.params = params or REDParams()
+        self.avg = 0.0
+
+    def reset(self) -> None:
+        """Clear per-run state (called by the fluid engine before t=0)."""
+        self.avg = 0.0
+
+    def drop_probability(self, q: float, arrival_rate_pps: float,
+                         dt: float) -> float:
+        """Early drop probability for arrivals during the next ``dt``."""
+        m = arrival_rate_pps * dt
+        if m > 0.0:
+            self.avg = q + (self.avg - q) * (1.0 - self.params.weight) ** m
+        return red_drop_probability(self.avg, self.params)
+
+
+#: kind -> factory(capacity_pkts, *, service_rate_pps, **kwargs).
+_FLUID_LAW_REGISTRY: dict[str, Callable[..., FluidQueueLaw]] = {}
+
+
+def register_fluid_law(kind: str):
+    """Decorator: register a fluid drop law under a queue-kind key."""
+
+    def deco(factory: Callable[..., FluidQueueLaw]):
+        _FLUID_LAW_REGISTRY[kind] = factory
+        return factory
+
+    return deco
+
+
+def fluid_law_kinds() -> tuple[str, ...]:
+    """Queue kinds with a registered fluid drop law, sorted."""
+    return tuple(sorted(_FLUID_LAW_REGISTRY))
+
+
+def make_fluid_law(
+    kind: str,
+    capacity_pkts: int,
+    *,
+    service_rate_pps: float,
+    **kwargs,
+) -> FluidQueueLaw:
+    """Build the fluid drop law for a registered queue kind.
+
+    Unknown kinds raise ``ValueError`` (same contract as
+    :func:`make_queue`); known kinds without a mean-field reduction
+    raise :class:`FluidNotSupported` naming the supported set.
+    """
+    if kind not in _QUEUE_REGISTRY:
+        raise ValueError(
+            f"unknown queue kind {kind!r}; registered: {', '.join(queue_kinds())}"
+        )
+    try:
+        factory = _FLUID_LAW_REGISTRY[kind]
+    except KeyError:
+        raise FluidNotSupported(
+            f"queue kind {kind!r} has no fluid drop law (sojourn-time "
+            "control has no mean-field reduction here); fluid-supported "
+            f"kinds: {', '.join(fluid_law_kinds())}"
+        ) from None
+    return factory(capacity_pkts, service_rate_pps=service_rate_pps, **kwargs)
+
+
+@register_fluid_law("droptail")
+def _make_droptail_law(capacity_pkts, *, service_rate_pps,
+                       **kwargs) -> DropTailFluidLaw:
+    return DropTailFluidLaw(capacity_pkts, service_rate_pps)
+
+
+@register_fluid_law("red")
+def _make_red_law(capacity_pkts, *, service_rate_pps,
+                  params: Optional[REDParams] = None,
+                  **kwargs) -> RedFluidLaw:
+    return RedFluidLaw(capacity_pkts, service_rate_pps, params=params)

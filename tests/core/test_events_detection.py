@@ -7,8 +7,10 @@ from repro.core import (
     DetectionModel,
     cluster_loss_events,
     detection_ratio,
+    distinct_flows_per_event,
     empirical_flows_per_event,
     event_sizes,
+    event_spans,
     l_rate_based,
     l_window_based,
     losses_per_event,
@@ -56,6 +58,56 @@ class TestClusterLossEvents:
         np.testing.assert_array_equal(event_sizes(ev), [2, 1])
         assert losses_per_event(ev) == pytest.approx(1.5)
         assert np.isnan(losses_per_event([]))
+
+
+class TestSpanKernels:
+    """The index-level primitives behind the vectorized Eq. 1-2 path."""
+
+    def _bursty_trace(self, n=5000, seed=0):
+        rng = np.random.default_rng(seed)
+        centers = np.sort(rng.uniform(0.0, 50.0, n // 10))
+        t = np.sort((centers[:, None] + rng.exponential(1e-4, (len(centers), 10))).ravel())
+        fids = rng.integers(0, 64, size=len(t), dtype=np.int64)
+        return t, fids
+
+    def test_spans_agree_with_cluster_loss_events(self):
+        t, fids = self._bursty_trace()
+        spans = event_spans(t, rtt=0.05)
+        events = cluster_loss_events(t, rtt=0.05, flow_ids=fids)
+        assert len(spans) - 1 == len(events)
+        np.testing.assert_array_equal(np.diff(spans), [e.count for e in events])
+        np.testing.assert_array_equal(
+            distinct_flows_per_event(spans, fids), [e.n_flows_hit for e in events]
+        )
+
+    def test_dense_and_sparse_paths_agree(self):
+        # Spreading the same ids over a ~1e12 range pushes the
+        # (events x flow-range) grid past the dense-path threshold, so
+        # this pits the sort-based fallback against the dense scatter.
+        t, fids = self._bursty_trace()
+        spans = event_spans(t, rtt=0.05)
+        sparse_ids = fids * 20_000_000_000 - 7
+        np.testing.assert_array_equal(
+            distinct_flows_per_event(spans, sparse_ids),
+            distinct_flows_per_event(spans, fids),
+        )
+
+    def test_record_mask_restricts_counts(self):
+        t = np.array([0.0, 0.001, 0.002, 1.0])
+        fids = np.array([3, 1, 3, 9])
+        spans = event_spans(t, rtt=0.1)
+        np.testing.assert_array_equal(distinct_flows_per_event(spans, fids), [2, 1])
+        mask = np.array([True, False, True, False])
+        np.testing.assert_array_equal(
+            distinct_flows_per_event(spans, fids, record_mask=mask), [1, 0]
+        )
+
+    def test_empty_and_validation(self):
+        np.testing.assert_array_equal(event_spans(np.array([]), rtt=0.1), [0])
+        with pytest.raises(ValueError):
+            event_spans(np.array([1.0]), rtt=0.0)
+        with pytest.raises(ValueError):
+            event_spans(np.array([2.0, 1.0]), rtt=1.0)
 
 
 class TestEquations:

@@ -13,9 +13,10 @@ from repro.experiments import Scale, run_fig7, run_zoo, run_zoo_cell
 from repro.experiments.zoo_grid import (
     DEFAULT_AQMS,
     DEFAULT_PROTOCOLS,
+    DEFAULT_RTT_CLASSES,
     ZooCellResult,
 )
-from repro.sim.queues import queue_kinds
+from repro.sim.queues import FluidNotSupported, queue_kinds
 from repro.tcp.registry import sender_names
 
 TINY = Scale(
@@ -44,6 +45,13 @@ SMOKE_PROTOCOLS = (
     "reno", "newreno", "paced", "quic-paced", "bbr", "bic", "sack", "fast",
 )
 SMOKE_AQMS = ("droptail", "red", "codel", "fq-codel", "pecn")
+SMOKE_RTT_CLASSES = (
+    ("lan", 0.002), ("metro", 0.015), ("wan", 0.050), ("intercont", 0.150),
+)
+
+#: The single-class grid the TestZooGrid fixtures run (the cross-product
+#: tests pin exact cell counts, so they opt out of the widened default).
+WAN_ONLY = (("wan", 0.050),)
 
 
 def check_cell(cell, protocol, aqm):
@@ -77,6 +85,13 @@ class TestRegistryCompleteness:
         assert set(DEFAULT_PROTOCOLS) <= set(sender_names())
         assert set(DEFAULT_AQMS) <= set(queue_kinds())
 
+    def test_every_rtt_class_is_smoked(self):
+        missing = set(DEFAULT_RTT_CLASSES) - set(SMOKE_RTT_CLASSES)
+        assert not missing, (
+            f"default RTT class(es) {sorted(missing)} have no zoo smoke "
+            "test; add them to SMOKE_RTT_CLASSES in tests/experiments/test_zoo.py"
+        )
+
 
 class TestZooCells:
     @pytest.mark.parametrize("protocol", SMOKE_PROTOCOLS)
@@ -91,6 +106,14 @@ class TestZooCells:
         if aqm in ("codel", "fq-codel"):
             # Sojourn-time disciplines drop at dequeue, not arrival.
             assert cell.dropped_head > 0
+
+    @pytest.mark.parametrize("rtt_name,rtt", SMOKE_RTT_CLASSES,
+                             ids=[name for name, _ in SMOKE_RTT_CLASSES])
+    def test_rtt_class_cell(self, rtt_name, rtt):
+        cell = run_zoo_cell(3, TINY, "newreno", "droptail",
+                            rtt=rtt, rtt_name=rtt_name)
+        check_cell(cell, "newreno", "droptail")
+        assert cell.rtt_name == rtt_name and cell.rtt == rtt
 
     def test_paced_droptail_cell_is_fig7_byte_identical(self):
         """The pinned equivalence: the zoo's (paced, droptail) cell IS the
@@ -117,7 +140,8 @@ class TestZooGrid:
     def grid(self):
         return run_zoo(seed=3, scale=TINY,
                        protocols=("newreno", "paced"),
-                       aqms=("droptail", "codel"))
+                       aqms=("droptail", "codel"),
+                       rtt_classes=WAN_ONLY)
 
     def test_grid_covers_the_cross_product(self, grid):
         assert len(grid.cells) == 4
@@ -142,15 +166,62 @@ class TestZooGrid:
         monkeypatch.setenv("REPRO_CHECKPOINT_DIR", str(tmp_path))
         first = run_zoo(seed=3, scale=TINY,
                         protocols=("newreno", "paced"),
-                        aqms=("droptail", "codel"))
+                        aqms=("droptail", "codel"),
+                        rtt_classes=WAN_ONLY)
         assert first.resumed == 0
         assert (tmp_path / "zoo.jsonl").exists()
         second = run_zoo(seed=3, scale=TINY,
                          protocols=("newreno", "paced"),
-                         aqms=("droptail", "codel"))
+                         aqms=("droptail", "codel"),
+                         rtt_classes=WAN_ONLY)
         assert second.resumed == 4  # every cell restored, none re-run
         assert [c.to_record() for c in second.cells] == \
                [c.to_record() for c in first.cells]
         # And the checkpointed cells match the uncheckpointed grid.
         assert [c.to_record() for c in first.cells] == \
                [c.to_record() for c in grid.cells]
+
+
+class TestFluidBackend:
+    """backend="fluid" dispatches cells to the mean-field engine."""
+
+    def test_fluid_cell_runs_and_reports_backend(self):
+        cell = run_zoo_cell(3, TINY, "paced", "droptail", backend="fluid")
+        check_cell(cell, "paced", "droptail")
+        assert cell.backend == "fluid"
+        # Fluid cells carry no per-packet drop trace to classify.
+        assert np.isnan(cell.detection_ratio)
+
+    def test_fluid_cell_under_red(self):
+        cell = run_zoo_cell(3, TINY, "newreno", "red", backend="fluid")
+        check_cell(cell, "newreno", "red")
+        assert cell.backend == "fluid"
+
+    def test_packet_cell_records_packet_backend(self):
+        cell = run_zoo_cell(3, TINY, "newreno", "droptail")
+        assert cell.backend == "packet"
+
+    def test_unsupported_protocol_raises(self):
+        with pytest.raises(FluidNotSupported):
+            run_zoo_cell(3, TINY, "bbr", "droptail", backend="fluid")
+
+    def test_unsupported_aqm_raises(self):
+        with pytest.raises(FluidNotSupported):
+            run_zoo_cell(3, TINY, "newreno", "codel", backend="fluid")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_zoo_cell(3, TINY, "newreno", "droptail", backend="quantum")
+
+    def test_grid_reports_unsupported_cells_without_failing(self):
+        grid = run_zoo(seed=3, scale=TINY,
+                       protocols=("newreno", "bbr"),
+                       aqms=("droptail", "codel"),
+                       rtt_classes=WAN_ONLY, backend="fluid")
+        # Only newreno/droptail has a mean-field reduction; the other
+        # three cells are reported, not silently dropped.
+        assert len(grid.cells) == 1
+        assert grid.cells[0].backend == "fluid"
+        assert grid.cells[0].protocol == "newreno"
+        assert len(grid.failed) == 3
+        assert all("fluid unsupported" in f for f in grid.failed)

@@ -25,6 +25,8 @@ TINY = BenchConfig(
     fig2_noise=2,
     fig2_duration=0.5,
     overhead_check=False,
+    manyflows_n=40,
+    manyflows_duration=1.0,
 )
 
 
@@ -41,7 +43,8 @@ def test_run_bench_produces_valid_schema(bench_doc):
 
 
 def test_paired_entries_carry_baseline_and_optimized(bench_doc):
-    for name in ("event_loop", "cancel_churn", "packet_pool", "fig2_scaled"):
+    for name in ("event_loop", "cancel_churn", "packet_pool", "fig2_scaled",
+                 "many_flows"):
         entry = bench_doc["benchmarks"][name]
         assert entry["baseline"] > 0
         assert entry["optimized"] > 0
@@ -54,6 +57,15 @@ def test_fig2_scaled_engines_agree(bench_doc):
     entry = bench_doc["benchmarks"]["fig2_scaled"]
     assert entry["identical_drops"] is True
     assert entry["events"] > 0
+
+
+def test_many_flows_stage_pits_packet_against_fluid(bench_doc):
+    entry = bench_doc["benchmarks"]["many_flows"]
+    assert entry["unit"] == "flows/sec"
+    assert entry["n"] == TINY.manyflows_n
+    # Even at toy size the fluid backend beats per-packet simulation.
+    assert entry["speedup"] > 1.0
+    assert 0.0 <= entry["share_gap"] <= 1.0
 
 
 def test_document_is_json_serializable(bench_doc):
@@ -76,6 +88,10 @@ def test_validate_bench_rejects_bad_documents(bench_doc):
     slow["benchmarks"]["telemetry_overhead"] = {"overhead": 1.2}
     with pytest.raises(ValueError, match="overhead"):
         validate_bench(slow)
+    bad_fluid = json.loads(json.dumps(bench_doc))
+    bad_fluid["benchmarks"]["many_flows"]["speedup"] = -1.0
+    with pytest.raises(ValueError, match="many_flows"):
+        validate_bench(bad_fluid)
 
 
 def test_next_bench_path_skips_taken_indices(tmp_path):
@@ -147,6 +163,28 @@ class TestRegressionGate:
         self._write(tmp_path, 0, {"event_loop": 2.0})
         self._write(tmp_path, 1, {"event_loop": 2.0, "campaign_shard": 5.0})
         assert check_regression(tmp_path) == []
+
+    def test_one_sided_stage_warns_instead_of_failing(self, tmp_path):
+        """A stage present in only one of the two files (newly added or
+        retired) is surfaced as a warning, never a gate failure."""
+        from repro.bench import check_regression
+        self._write(tmp_path, 0, {"event_loop": 2.0, "retired_stage": 3.0})
+        self._write(tmp_path, 1, {"event_loop": 2.0, "many_flows": 400.0})
+        with pytest.warns(UserWarning) as caught:
+            assert check_regression(tmp_path) == []
+        messages = [str(w.message) for w in caught]
+        assert any("many_flows" in m and "BENCH_1.json" in m
+                   for m in messages)
+        assert any("retired_stage" in m and "BENCH_0.json" in m
+                   for m in messages)
+
+    def test_one_sided_stage_does_not_mask_real_regressions(self, tmp_path):
+        from repro.bench import check_regression
+        self._write(tmp_path, 0, {"event_loop": 2.0})
+        self._write(tmp_path, 1, {"event_loop": 1.0, "many_flows": 400.0})
+        with pytest.warns(UserWarning, match="many_flows"):
+            violations = check_regression(tmp_path)
+        assert len(violations) == 1 and "event_loop" in violations[0]
 
     def test_cli_exit_codes(self, tmp_path):
         from repro.bench import main
